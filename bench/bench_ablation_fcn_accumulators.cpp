@@ -1,0 +1,93 @@
+// Ablation A3: FCN interleaved accumulators (paper Sec. IV-B).
+//
+// Floating-point accumulation takes 11 cycles, so a single accumulator
+// forces an initiation interval of 11 on the FCN input stream; interleaving
+// more lanes hides the latency at the cost of lane registers and a final
+// reduction tree. The paper's workaround is "using a higher number of
+// accumulators than the single addition latency". This bench sweeps the lane
+// count on the USPS FCN (64->10) and on the CIFAR FCN (900->84) and reports
+// cycles per image and the stall counts.
+#include <cstdio>
+
+#include "axis/flit.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "dataflow/endpoints.hpp"
+#include "dataflow/sim_context.hpp"
+#include "hlscore/fcn_core.hpp"
+
+namespace {
+
+struct Result {
+  std::uint64_t cycles = 0;
+  std::uint64_t stalls = 0;
+};
+
+Result run(std::int64_t in_count, std::int64_t out_count, int lanes, int images) {
+  using namespace dfc;
+  using dfc::axis::Flit;
+
+  df::SimContext ctx;
+  auto& in = ctx.add_fifo<Flit>("in", 4);
+  auto& out = ctx.add_fifo<Flit>("out", 4);
+
+  hls::FcnCoreConfig cfg;
+  cfg.in_count = in_count;
+  cfg.out_count = out_count;
+  cfg.num_accumulators = lanes;
+  cfg.weights.assign(static_cast<std::size_t>(in_count * out_count), 0.01f);
+  cfg.biases.assign(static_cast<std::size_t>(out_count), 0.0f);
+  auto& core = ctx.add_process<hls::FcnCore>("fcn", cfg, in, out);
+
+  Rng rng(7);
+  std::vector<Flit> stream;
+  stream.reserve(static_cast<std::size_t>(in_count * images));
+  for (int img = 0; img < images; ++img) {
+    for (std::int64_t i = 0; i < in_count; ++i) {
+      stream.push_back(Flit{rng.uniform(-1.0f, 1.0f), i == in_count - 1, 0});
+    }
+  }
+  ctx.add_process<df::VectorSource<Flit>>("src", in, std::move(stream));
+  auto& sink = ctx.add_process<df::VectorSink<Flit>>("sink", out);
+
+  const std::size_t want = static_cast<std::size_t>(out_count * images);
+  Result r;
+  r.cycles = ctx.run_until([&] { return sink.count() == want; }, 100'000'000);
+  r.stalls = core.lane_stall_cycles();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dfc;
+  constexpr int kImages = 20;
+
+  struct Layer {
+    const char* label;
+    std::int64_t in, out;
+  };
+  const Layer layers[] = {{"USPS FCN 64->10", 64, 10}, {"CIFAR FCN 900->84", 900, 84}};
+
+  std::printf("=== Ablation A3: FCN accumulator interleaving (fadd latency = 11) ===\n\n");
+  for (const Layer& l : layers) {
+    std::printf("%s, %d back-to-back images\n", l.label, kImages);
+    AsciiTable t({"lanes", "cycles", "cycles/image", "lane stalls", "vs 11 lanes"});
+    const Result base = run(l.in, l.out, 11, kImages);
+    for (int lanes : {1, 2, 4, 8, 11, 16}) {
+      const Result r = run(l.in, l.out, lanes, kImages);
+      t.add_row({std::to_string(lanes), std::to_string(r.cycles),
+                 dfc::fmt_fixed(static_cast<double>(r.cycles) / kImages, 1),
+                 std::to_string(r.stalls),
+                 dfc::fmt_fixed(static_cast<double>(r.cycles) / static_cast<double>(base.cycles),
+                                2) +
+                     "x"});
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+  std::printf(
+      "Reading: fewer lanes than the add latency serialize the stream (II = 11 at one\n"
+      "lane); at >= 11 lanes the core consumes one value per cycle, as the paper's\n"
+      "partial-unrolling workaround intends. Lanes beyond the latency buy nothing.\n");
+  return 0;
+}

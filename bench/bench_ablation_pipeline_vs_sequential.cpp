@@ -1,0 +1,39 @@
+// Ablation A1: the high-level pipeline (the paper's headline mechanism)
+// versus layer-by-layer sequential execution of the same design.
+//
+// The sequential baseline drains the whole accelerator between images, so
+// no two layers ever work concurrently — this isolates exactly what the
+// inter-layer pipeline buys at each batch size.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/presets.hpp"
+#include "report/experiments.hpp"
+
+int main() {
+  using namespace dfc;
+
+  const std::vector<std::size_t> batches{1, 2, 4, 8, 16, 32};
+  const core::NetworkSpec specs[2] = {core::make_usps_spec(), core::make_cifar_spec()};
+
+  std::printf("=== Ablation A1: high-level pipeline vs sequential execution ===\n\n");
+  for (const auto& spec : specs) {
+    const auto pipelined = report::batch_sweep(spec, batches);
+    const auto sequential = report::batch_sweep_sequential(spec, batches);
+
+    std::printf("%s\n", spec.name.c_str());
+    AsciiTable t({"batch", "pipelined us/img", "sequential us/img", "speedup"});
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+      t.add_row({std::to_string(batches[i]), fmt_fixed(pipelined[i].mean_us_per_image, 3),
+                 fmt_fixed(sequential[i].mean_us_per_image, 3),
+                 fmt_fixed(sequential[i].mean_us_per_image / pipelined[i].mean_us_per_image,
+                           2) +
+                     "x"});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf(
+        "  batch=1 rows match by construction (no pipelining opportunity); the gap\n"
+        "  widens with batch size until the slowest stage fully hides the others.\n\n");
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation A2: layer scalability — throughput and resources vs port counts
+// (Eq. 4). Sweeps the (IN_PORTS, OUT_PORTS) assignment of the USPS network's
+// convolutional layers from single-port to fully parallel and reports the
+// simulated steady-state interval, the analytical prediction, and the DSP
+// price of each configuration.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/harness.hpp"
+#include "core/presets.hpp"
+#include "dse/throughput_model.hpp"
+#include "hwmodel/cost_model.hpp"
+#include "report/experiments.hpp"
+
+int main() {
+  using namespace dfc;
+
+  struct PlanCase {
+    const char* label;
+    core::ConvPorts conv1, conv2;
+  };
+  const PlanCase cases[] = {
+      {"all single-port", {1, 1}, {1, 1}},
+      {"conv1 out=2", {1, 2}, {1, 1}},
+      {"conv1 out=3", {1, 3}, {1, 1}},
+      {"conv1 out=6 (paper TC1)", {1, 6}, {6, 1}},
+      {"conv2 out=2", {1, 6}, {6, 2}},
+      {"conv2 out=4", {1, 6}, {6, 4}},
+      {"fully parallel", {1, 6}, {6, 16}},
+  };
+
+  std::printf("=== Ablation A2: port scaling on the USPS network ===\n\n");
+  AsciiTable t({"plan", "II conv1", "II conv2", "sim interval (cy)", "model (cy)",
+                "DSP estimate", "fits 485t"});
+  const hw::Device dev = hw::virtex7_485t();
+  for (const auto& c : cases) {
+    core::Preset preset = core::make_usps_preset();
+    preset.plan.conv = {c.conv1, c.conv2};
+    const core::NetworkSpec spec = preset.compile_spec();
+
+    const auto& conv1 = std::get<core::ConvLayerSpec>(spec.layers[0]);
+    const auto& conv2 = std::get<core::ConvLayerSpec>(spec.layers[2]);
+
+    core::AcceleratorHarness harness(core::build_accelerator(spec));
+    const auto images = report::random_images(spec, 10);
+    const auto r = harness.run_batch(images);
+    const auto analytic = dse::estimate_timing(spec);
+    const auto est = hw::estimate_design(spec);
+
+    t.add_row({c.label, std::to_string(conv1.initiation_interval()),
+               std::to_string(conv2.initiation_interval()),
+               std::to_string(r.steady_interval_cycles()),
+               std::to_string(analytic.interval_cycles), fmt_fixed(est.total.dsp, 0),
+               dev.fits(est.total) ? "yes" : "no"});
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "Reading: once every compute stage is faster than the 256-cycle DMA ingest,\n"
+      "more ports only burn DSPs — which is why the paper's empirical choice and\n"
+      "the DSE both stop scaling early on this network.\n");
+  return 0;
+}

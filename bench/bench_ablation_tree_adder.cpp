@@ -1,0 +1,65 @@
+// Ablation A4: tree adder vs sequential accumulation (paper Sec. IV-A:
+// "The tree adder is used in order to improve the initial latency of the
+// core, as it executes the additions on parallel levels which decrease the
+// pipeline depth").
+//
+// Compares, per window size: the reduction pipeline depth (tree levels x
+// fadd latency vs (n-1) sequential adds), the resulting conv-core first
+// output latency, and the numerical difference of the two association
+// orders.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "hlscore/conv_core.hpp"
+#include "hlscore/op_latency.hpp"
+#include "hlscore/tree_reduce.hpp"
+
+int main() {
+  using namespace dfc;
+  const hls::OpLatency lat{};
+
+  std::printf("=== Ablation A4: tree adder vs sequential accumulation ===\n\n");
+  AsciiTable t({"products", "tree depth", "tree latency (cy)", "sequential latency (cy)",
+                "latency saving", "max |tree-seq| (1k trials)"});
+  Rng rng(99);
+  for (std::size_t n : {4u, 9u, 25u, 50u, 150u, 900u}) {
+    const int depth = hls::tree_depth(n);
+    const std::int64_t tree_cy = static_cast<std::int64_t>(depth) * lat.fadd;
+    const std::int64_t seq_cy = static_cast<std::int64_t>(n - 1) * lat.fadd;
+
+    double worst = 0.0;
+    for (int trial = 0; trial < 1000; ++trial) {
+      std::vector<float> v(n);
+      for (auto& x : v) x = rng.uniform(-1.0f, 1.0f);
+      const float tree = hls::tree_reduce(v);
+      float seq = 0.0f;
+      for (float x : v) seq += x;
+      worst = std::max(worst, static_cast<double>(std::fabs(tree - seq)));
+    }
+
+    t.add_row({std::to_string(n), std::to_string(depth), std::to_string(tree_cy),
+               std::to_string(seq_cy),
+               fmt_fixed(static_cast<double>(seq_cy) / static_cast<double>(tree_cy), 1) + "x",
+               fmt_fixed(worst, 7)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  // Effect on a real core: the USPS conv1 (25 products per beat).
+  hls::ConvCoreConfig cfg;
+  cfg.in_ports = 1;
+  cfg.in_fm = 1;
+  cfg.out_fm = 6;
+  cfg.kh = cfg.kw = 5;
+  cfg.out_positions = 144;
+  cfg.weights.resize(static_cast<std::size_t>(6 * 25));
+  cfg.biases.resize(6);
+  const std::int64_t tree_latency = cfg.pipeline_latency();
+  const std::int64_t seq_latency = lat.fmul + 24 * lat.fadd + lat.fadd;
+  std::printf("USPS conv1 pipeline depth: %lld cycles with the tree, %lld sequential\n",
+              static_cast<long long>(tree_latency), static_cast<long long>(seq_latency));
+  std::printf(
+      "Throughput is unchanged (II comes from Eq. 4 operator sharing); the tree\n"
+      "shortens pipeline fill, which matters for small batches and layer turnarounds.\n");
+  return 0;
+}

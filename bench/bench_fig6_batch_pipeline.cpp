@@ -1,0 +1,65 @@
+// Reproduces Figure 6: mean time to process an image vs batch size, for
+// both test cases, on the cycle-level simulator at the paper's 100 MHz
+// clock. The paper's claims to verify:
+//   * mean time per image falls as the batch grows (high-level pipeline);
+//   * it converges once the batch exceeds the number of network layers;
+//   * convergence values: ~5.8 us (TC1) and ~128.1 us (TC2) on their board.
+// Also writes fig6_<name>.csv for offline plotting.
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "core/presets.hpp"
+#include "dse/throughput_model.hpp"
+#include "report/experiments.hpp"
+
+int main() {
+  using namespace dfc;
+
+  const std::vector<std::size_t> batches{1, 2, 3, 4, 5, 6, 8, 10, 15, 20, 30, 40, 50};
+  const double paper_converged_us[2] = {5.8, 128.1};
+  const core::NetworkSpec specs[2] = {core::make_usps_spec(), core::make_cifar_spec()};
+
+  std::printf("=== Figure 6: mean time per image vs batch size (100 MHz) ===\n\n");
+  for (int i = 0; i < 2; ++i) {
+    const auto& spec = specs[i];
+    const auto points = report::batch_sweep(spec, batches);
+    const auto analytic = dse::estimate_timing(spec);
+
+    std::printf("%s (%zu layers; paper converges to ~%.1f us)\n", spec.name.c_str(),
+                spec.size(), paper_converged_us[i]);
+    AsciiTable t({"batch", "mean us/image", "total cycles"});
+    CsvWriter csv("fig6_" + spec.name + ".csv", {"batch", "mean_us_per_image"});
+    for (const auto& p : points) {
+      t.add_row({std::to_string(p.batch), fmt_fixed(p.mean_us_per_image, 3),
+                 std::to_string(p.total_cycles)});
+      csv.row_values(p.batch, p.mean_us_per_image);
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("  analytic steady-state interval: %.3f us (bottleneck %s)\n",
+                core::cycles_to_us(static_cast<double>(analytic.interval_cycles)),
+                analytic.stages[static_cast<std::size_t>(analytic.bottleneck_stage)]
+                    .name.c_str());
+    const double converged = points.back().mean_us_per_image;
+    const double at_layers = points[spec.size() - 1].mean_us_per_image;  // batch ~ layers
+    std::printf("  measured convergence:           %.3f us\n", converged);
+    std::printf("  batch=%zu (# layers) is within %.1f%% of converged\n", spec.size(),
+                100.0 * (at_layers - converged) / converged);
+    std::printf("  paper/board vs model ratio:     %.2fx\n\n",
+                paper_converged_us[i] / converged);
+  }
+
+  std::printf("Shape checks (paper claims):\n");
+  for (int i = 0; i < 2; ++i) {
+    const auto points = report::batch_sweep(specs[i], {1, 10, 50});
+    const bool monotone = points[0].mean_us_per_image > points[1].mean_us_per_image &&
+                          points[1].mean_us_per_image > points[2].mean_us_per_image;
+    const bool converged =
+        (points[1].mean_us_per_image - points[2].mean_us_per_image) <
+        0.1 * points[2].mean_us_per_image;
+    std::printf("  %-12s batching helps: %s; converged by batch 10: %s\n",
+                specs[i].name.c_str(), monotone ? "yes" : "NO", converged ? "yes" : "NO");
+  }
+  return 0;
+}

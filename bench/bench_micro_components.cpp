@@ -1,0 +1,134 @@
+// Microbenchmarks (google-benchmark) of the simulator building blocks: FIFO
+// transfer, window buffer streaming, conv-core cycles, golden convolution,
+// tree reduction, and whole-accelerator simulation throughput.
+#include <benchmark/benchmark.h>
+
+#include "axis/flit.hpp"
+#include "common/rng.hpp"
+#include "core/harness.hpp"
+#include "core/presets.hpp"
+#include "dataflow/endpoints.hpp"
+#include "dataflow/sim_context.hpp"
+#include "hlscore/tree_reduce.hpp"
+#include "nn/conv2d.hpp"
+#include "report/experiments.hpp"
+#include "sst/window_buffer.hpp"
+
+namespace {
+
+using dfc::axis::Flit;
+
+void BM_FifoPushPop(benchmark::State& state) {
+  dfc::df::Fifo<int> f("f", 2);
+  int x = 0;
+  for (auto _ : state) {
+    f.push(x);
+    f.commit();
+    benchmark::DoNotOptimize(f.pop());
+    f.commit();
+    ++x;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FifoPushPop);
+
+void BM_SourceSinkCyclePerToken(benchmark::State& state) {
+  dfc::df::SimContext ctx;
+  auto& f = ctx.add_fifo<int>("chan", 2);
+  std::vector<int> tokens(1 << 16);
+  auto& src = ctx.add_process<dfc::df::VectorSource<int>>("src", f, tokens);
+  auto& sink = ctx.add_process<dfc::df::VectorSink<int>>("sink", f);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ctx.reset();
+    state.ResumeTiming();
+    ctx.run_until([&] { return sink.count() == tokens.size(); });
+  }
+  (void)src;
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(tokens.size()));
+}
+BENCHMARK(BM_SourceSinkCyclePerToken);
+
+void BM_WindowBufferStream(benchmark::State& state) {
+  const dfc::sst::WindowGeometry g{32, 32, 5, 5, 1, 1, 3};
+  dfc::Rng rng(1);
+  dfc::Tensor img(dfc::Shape3{3, 32, 32});
+  for (float& v : img.flat()) v = rng.next_float();
+  const auto stream = dfc::axis::pack_port_stream(img, 1, 0);
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    dfc::df::SimContext ctx;
+    auto& in = ctx.add_fifo<Flit>("in", 4);
+    auto& out = ctx.add_fifo<dfc::sst::Window>("out", 4);
+    ctx.add_process<dfc::sst::WindowBuffer>("wb", g, in, out);
+    ctx.add_process<dfc::df::VectorSource<Flit>>("src", in, stream);
+    auto& sink = ctx.add_process<dfc::df::VectorSink<dfc::sst::Window>>("sink", out);
+    const auto want = static_cast<std::size_t>(g.windows_per_image());
+    state.ResumeTiming();
+    ctx.run_until([&] { return sink.count() == want; });
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_WindowBufferStream);
+
+void BM_GoldenConv5x5(benchmark::State& state) {
+  dfc::nn::Conv2d conv(3, 12, 5, 5);
+  dfc::Rng rng(2);
+  conv.init_weights(rng);
+  dfc::Tensor img(dfc::Shape3{3, 32, 32});
+  for (float& v : img.flat()) v = rng.next_float();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.infer(img));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GoldenConv5x5);
+
+void BM_TreeReduce(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<float> v(n, 1.0f);
+  std::vector<float> scratch(n);
+  for (auto _ : state) {
+    std::copy(v.begin(), v.end(), scratch.begin());
+    benchmark::DoNotOptimize(dfc::hls::tree_reduce_inplace(scratch));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TreeReduce)->Arg(25)->Arg(150)->Arg(900);
+
+void BM_UspsAcceleratorImage(benchmark::State& state) {
+  const auto spec = dfc::core::make_usps_spec();
+  dfc::core::AcceleratorHarness harness(dfc::core::build_accelerator(spec));
+  const auto images = dfc::report::random_images(spec, 8);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const auto r = harness.run_batch(images);
+    cycles += r.total_cycles();
+    benchmark::DoNotOptimize(r.outputs.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+  state.counters["sim_cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_UspsAcceleratorImage);
+
+void BM_CifarAcceleratorImage(benchmark::State& state) {
+  const auto spec = dfc::core::make_cifar_spec();
+  dfc::core::AcceleratorHarness harness(dfc::core::build_accelerator(spec));
+  const auto images = dfc::report::random_images(spec, 2);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const auto r = harness.run_batch(images);
+    cycles += r.total_cycles();
+    benchmark::DoNotOptimize(r.outputs.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  state.counters["sim_cycles_per_s"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CifarAcceleratorImage);
+
+}  // namespace
+
+BENCHMARK_MAIN();

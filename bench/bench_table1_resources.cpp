@@ -1,0 +1,51 @@
+// Reproduces Table I: FPGA resource usage of the two test cases on the
+// Virtex-7 xc7vx485t, from the analytical cost model, next to the paper's
+// post-synthesis percentages.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/presets.hpp"
+#include "hwmodel/cost_model.hpp"
+
+int main() {
+  using namespace dfc;
+  const hw::Device dev = hw::virtex7_485t();
+
+  struct PaperRow {
+    const char* name;
+    double ff, lut, bram, dsp;
+  };
+  const PaperRow paper[2] = {{"Test Case 1 (USPS)", 0.4110, 0.5086, 0.0350, 0.5504},
+                             {"Test Case 2 (CIFAR-10)", 0.6177, 0.7124, 0.2282, 0.7432}};
+  const core::NetworkSpec specs[2] = {core::make_usps_spec(), core::make_cifar_spec()};
+
+  std::printf("=== Table I: FPGA resources usage (device %s) ===\n\n", dev.name.c_str());
+  AsciiTable t({"Design", "Source", "Flip-Flops", "LUT", "BRAM", "DSP Slices"});
+  for (int i = 0; i < 2; ++i) {
+    const hw::DesignEstimate est = hw::estimate_design(specs[i]);
+    const hw::ResourceUsage u = dev.utilization(est.total);
+    t.add_row({paper[i].name, "paper", fmt_percent(paper[i].ff), fmt_percent(paper[i].lut),
+               fmt_percent(paper[i].bram), fmt_percent(paper[i].dsp)});
+    t.add_row({paper[i].name, "model", fmt_percent(u.ff), fmt_percent(u.lut),
+               fmt_percent(u.bram36), fmt_percent(u.dsp)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("Absolute model estimates:\n");
+  for (int i = 0; i < 2; ++i) {
+    const hw::DesignEstimate est = hw::estimate_design(specs[i]);
+    std::printf("  %-24s %s\n", specs[i].name.c_str(), est.total.str().c_str());
+  }
+
+  std::printf("\nPer-layer breakdown (uncalibrated, before base design):\n");
+  for (int i = 0; i < 2; ++i) {
+    const hw::DesignEstimate est = hw::estimate_design(specs[i]);
+    std::printf("  %s:\n", specs[i].name.c_str());
+    for (std::size_t l = 0; l < est.per_layer.size(); ++l) {
+      std::printf("    [%zu] %-60s %s\n", l,
+                  core::layer_describe(specs[i].layers[l]).c_str(),
+                  est.per_layer[l].str().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Reproduces Table II: performance and power efficiency of the two test
+// cases, plus the comparison against the Microsoft CIFAR-10 accelerator [28]
+// (Stratix V, 2318 images/s — the paper reports a 3.36x speedup over it).
+//
+// Measurements stream a large batch (default 500 images, override with
+// DFCNN_TABLE2_BATCH) so the design is at pipeline steady state; data
+// transfers are part of the measurement, as in the paper.
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hpp"
+#include "core/presets.hpp"
+#include "report/experiments.hpp"
+
+int main() {
+  using namespace dfc;
+
+  std::size_t batch = 500;
+  if (const char* env = std::getenv("DFCNN_TABLE2_BATCH")) {
+    batch = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  }
+
+  struct PaperRow {
+    const char* dataset;
+    double gflops, gflops_w, latency_ms, images_s;
+  };
+  const PaperRow paper[2] = {{"USPS", 5.2, 0.25, 0.0058, 172414},
+                             {"CIFAR-10", 28.4, 1.19, 0.128, 7809}};
+  constexpr double kMicrosoftImagesPerSec = 2318.0;  // [28] on CIFAR-10
+
+  const core::NetworkSpec specs[2] = {core::make_usps_spec(), core::make_cifar_spec()};
+
+  std::printf("=== Table II: performance and power efficiency (batch %zu) ===\n\n", batch);
+  AsciiTable t({"Design", "Dataset", "Source", "GFLOPS", "GFLOPS/W", "Image Latency (ms)",
+                "Images/s"});
+  report::PerformanceMetrics measured[2];
+  for (int i = 0; i < 2; ++i) {
+    measured[i] = report::measure_performance(specs[i], batch);
+    const auto& m = measured[i];
+    t.add_row({std::string("Test Case ") + (i == 0 ? "1" : "2"), paper[i].dataset, "paper",
+               fmt_fixed(paper[i].gflops, 1), fmt_fixed(paper[i].gflops_w, 2),
+               fmt_fixed(paper[i].latency_ms, 4), fmt_fixed(paper[i].images_s, 0)});
+    t.add_row({std::string("Test Case ") + (i == 0 ? "1" : "2"), paper[i].dataset, "model",
+               fmt_fixed(m.gflops, 1), fmt_fixed(m.gflops_per_watt, 2),
+               fmt_fixed(m.mean_us_per_image / 1000.0, 4), fmt_fixed(m.images_per_second, 0)});
+  }
+  t.add_row({"Ovtcharov et al. [28]", "CIFAR-10", "paper", "-", "-", "-",
+             fmt_fixed(kMicrosoftImagesPerSec, 0)});
+  std::printf("%s\n", t.render().c_str());
+
+  std::printf("Comparison vs [28] on CIFAR-10:\n");
+  std::printf("  paper reports: 7809 / 2318 = 3.36x\n");
+  std::printf("  model yields:  %.0f / %.0f = %.2fx\n\n", measured[1].images_per_second,
+              kMicrosoftImagesPerSec, measured[1].images_per_second / kMicrosoftImagesPerSec);
+
+  std::printf("Detail (model):\n");
+  for (int i = 0; i < 2; ++i) {
+    const auto& m = measured[i];
+    std::printf(
+        "  %-12s flops/image=%lld  mean=%.3f us  end-to-end latency=%.3f us  "
+        "steady interval=%.3f us  power=%.1f W\n",
+        specs[i].name.c_str(), static_cast<long long>(specs[i].flops_per_image()),
+        m.mean_us_per_image, m.end_to_end_latency_us, m.steady_interval_us, m.watts);
+  }
+
+  std::printf("\nShape checks (paper claims):\n");
+  std::printf("  TC2 achieves higher GFLOPS than TC1:      %s\n",
+              measured[1].gflops > measured[0].gflops ? "yes" : "NO");
+  std::printf("  TC2 is more power-efficient than TC1:     %s\n",
+              measured[1].gflops_per_watt > measured[0].gflops_per_watt ? "yes" : "NO");
+  std::printf("  TC2 beats [28] on images/s:               %s\n",
+              measured[1].images_per_second > kMicrosoftImagesPerSec ? "yes" : "NO");
+  return 0;
+}

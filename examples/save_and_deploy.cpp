@@ -1,0 +1,69 @@
+// Example: the train-once / deploy-anywhere flow.
+//
+// Phase 1 (training workstation): train the USPS network on synthetic data
+// and save the compiled design — architecture, port plan and weights — to a
+// single binary artifact.
+// Phase 2 (deployment): load the artifact with no knowledge of the training
+// setup, build the accelerator from it, and serve a batch.
+#include <cstdio>
+
+#include "core/harness.hpp"
+#include "core/presets.hpp"
+#include "core/spec_io.hpp"
+#include "data/synthetic.hpp"
+
+namespace {
+constexpr const char* kArtifact = "usps_design.dfcnn";
+}
+
+int main() {
+  using namespace dfc;
+
+  // --- Phase 1: train and save ------------------------------------------------
+  {
+    auto split = data::make_usps_like_split(768, 128, 11);
+    core::Preset preset = core::make_usps_preset(1);
+    for (int epoch = 0; epoch < 5; ++epoch) {
+      for (std::size_t s = 0; s + 32 <= split.train.size(); s += 32) {
+        std::vector<Tensor> imgs(split.train.images.begin() + static_cast<std::ptrdiff_t>(s),
+                                 split.train.images.begin() +
+                                     static_cast<std::ptrdiff_t>(s + 32));
+        std::vector<std::int64_t> lbls(
+            split.train.labels.begin() + static_cast<std::ptrdiff_t>(s),
+            split.train.labels.begin() + static_cast<std::ptrdiff_t>(s + 32));
+        preset.net.train_batch(imgs, lbls, 0.05f);
+      }
+    }
+    std::printf("trained: %.1f%% test accuracy\n",
+                100.0 * preset.net.evaluate(split.test.images, split.test.labels));
+    core::save_spec_file(preset.compile_spec(), kArtifact);
+    std::printf("saved design to %s\n\n", kArtifact);
+  }
+
+  // --- Phase 2: load and deploy -----------------------------------------------
+  {
+    const core::NetworkSpec spec = core::load_spec_file(kArtifact);
+    std::printf("loaded '%s': %zu layers, input %s, %lld FLOP/image\n", spec.name.c_str(),
+                spec.size(), spec.input_shape.str().c_str(),
+                static_cast<long long>(spec.flops_per_image()));
+
+    core::AcceleratorHarness harness(core::build_accelerator(spec));
+    // Fresh images, standardized with the same training-set statistics (same
+    // split recipe, samples beyond the ones training ever evaluated).
+    auto full = data::make_usps_like_split(768, 160, 11).test;
+    data::Dataset serve;
+    serve.num_classes = full.num_classes;
+    serve.images.assign(full.images.begin() + 128, full.images.end());
+    serve.labels.assign(full.labels.begin() + 128, full.labels.end());
+    const core::BatchResult r = harness.run_batch(serve.images);
+
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < serve.size(); ++i) {
+      correct += (r.predicted_class(i) == serve.labels[i]);
+    }
+    std::printf("served %zu images in %llu cycles (%.2f us/image): %zu/%zu correct\n",
+                serve.size(), static_cast<unsigned long long>(r.total_cycles()),
+                core::cycles_to_us(r.mean_cycles_per_image()), correct, serve.size());
+    return correct > serve.size() / 2 ? 0 : 1;
+  }
+}

@@ -1,0 +1,56 @@
+#include "axis/flit.hpp"
+
+#include "common/error.hpp"
+
+namespace dfc::axis {
+
+std::int64_t channels_on_port(std::int64_t channels, int num_ports, int port) {
+  DFC_REQUIRE(num_ports > 0 && port >= 0 && port < num_ports,
+              "invalid port index " + std::to_string(port));
+  // Channels c with c % num_ports == port: count = floor((channels-1-port)/P)+1.
+  if (port >= channels) return 0;
+  return (channels - 1 - port) / num_ports + 1;
+}
+
+std::vector<Flit> pack_port_stream(const Tensor& t, int num_ports, int port) {
+  const Shape3& s = t.shape();
+  DFC_REQUIRE(num_ports > 0 && port >= 0 && port < num_ports,
+              "invalid port index " + std::to_string(port));
+  std::vector<Flit> out;
+  out.reserve(static_cast<std::size_t>(channels_on_port(s.c, num_ports, port) * s.plane()));
+  for (std::int64_t y = 0; y < s.h; ++y) {
+    for (std::int64_t x = 0; x < s.w; ++x) {
+      for (std::int64_t c = port; c < s.c; c += num_ports) {
+        out.push_back(Flit{t.at(c, y, x), false, static_cast<std::int32_t>(c)});
+      }
+    }
+  }
+  if (!out.empty()) out.back().last = true;
+  return out;
+}
+
+Tensor unpack_port_streams(const Shape3& shape,
+                           const std::vector<std::vector<Flit>>& streams) {
+  const int num_ports = static_cast<int>(streams.size());
+  DFC_REQUIRE(num_ports > 0, "unpack needs at least one stream");
+  Tensor t(shape);
+  for (int port = 0; port < num_ports; ++port) {
+    const auto& stream = streams[static_cast<std::size_t>(port)];
+    const std::int64_t port_channels = channels_on_port(shape.c, num_ports, port);
+    DFC_REQUIRE(static_cast<std::int64_t>(stream.size()) == port_channels * shape.plane(),
+                "stream length mismatch on port " + std::to_string(port) + ": got " +
+                    std::to_string(stream.size()) + ", want " +
+                    std::to_string(port_channels * shape.plane()));
+    std::size_t i = 0;
+    for (std::int64_t y = 0; y < shape.h; ++y) {
+      for (std::int64_t x = 0; x < shape.w; ++x) {
+        for (std::int64_t c = port; c < shape.c; c += num_ports) {
+          t.at(c, y, x) = stream[i++].data;
+        }
+      }
+    }
+  }
+  return t;
+}
+
+}  // namespace dfc::axis

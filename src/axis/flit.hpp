@@ -1,0 +1,40 @@
+// AXI4-Stream-like token and feature-map interleaving rules.
+//
+// Every inter-layer channel in the paper is a 32-bit AXI4-Stream carrying
+// single-precision floats. A port transports several feature maps (FMs) by
+// interleaving: for each pixel position, the values of all FMs mapped to the
+// port are sent back to back. FM c of a layer with P ports travels on port
+// c mod P, and within a pixel the port sends its FMs in increasing channel
+// order (c, c+P, c+2P, ...).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dfc::axis {
+
+/// One beat on a 32-bit AXI4-Stream channel. `last` marks the final beat of
+/// an image (TLAST in hardware); simulation-only `channel` metadata lets the
+/// SST structures assert stream integrity.
+struct Flit {
+  float data = 0.0f;
+  bool last = false;
+  std::int32_t channel = 0;  ///< absolute feature-map index (metadata)
+};
+
+/// Packs tensor `t` into the flit sequence seen on port `port` of a layer
+/// interface with `num_ports` ports: pixel-major, channels interleaved.
+std::vector<Flit> pack_port_stream(const Tensor& t, int num_ports, int port);
+
+/// Reassembles a tensor of shape `shape` from the per-port flit streams
+/// (streams[p] is the full sequence observed on port p).
+Tensor unpack_port_streams(const Shape3& shape,
+                           const std::vector<std::vector<Flit>>& streams);
+
+/// Number of feature maps carried by `port` when `channels` maps are spread
+/// over `num_ports` ports round-robin.
+std::int64_t channels_on_port(std::int64_t channels, int num_ports, int port);
+
+}  // namespace dfc::axis

@@ -1,0 +1,55 @@
+#include "common/csv.hpp"
+
+#include "common/error.hpp"
+
+namespace dfc {
+
+namespace {
+std::string join(const std::vector<std::string>& cells) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) line += ',';
+    // Quote cells containing separators; benches only emit plain numbers and
+    // identifiers, so this is a safety net rather than a full CSV dialect.
+    const std::string& c = cells[i];
+    if (c.find_first_of(",\"\n") != std::string::npos) {
+      line += '"';
+      for (char ch : c) {
+        if (ch == '"') line += '"';
+        line += ch;
+      }
+      line += '"';
+    } else {
+      line += c;
+    }
+  }
+  return line;
+}
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& columns)
+    : file_(path), has_file_(true), columns_(columns.size()) {
+  DFC_REQUIRE(file_.good(), "cannot open CSV file: " + path);
+  DFC_REQUIRE(columns_ > 0, "CSV needs at least one column");
+  emit(join(columns));
+}
+
+CsvWriter::CsvWriter(const std::vector<std::string>& columns) : columns_(columns.size()) {
+  DFC_REQUIRE(columns_ > 0, "CSV needs at least one column");
+  emit(join(columns));
+}
+
+CsvWriter::~CsvWriter() = default;
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  DFC_REQUIRE(cells.size() == columns_, "CSV row width mismatch");
+  emit(join(cells));
+  ++rows_;
+}
+
+void CsvWriter::emit(const std::string& line) {
+  buffer_ << line << '\n';
+  if (has_file_) file_ << line << '\n';
+}
+
+}  // namespace dfc

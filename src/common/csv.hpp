@@ -1,0 +1,61 @@
+// CSV emission for benchmark series (Fig. 6-style sweeps).
+//
+// Benches print human-readable tables to stdout and optionally mirror the
+// same rows into CSV files so plots can be regenerated offline.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dfc {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+
+  /// In-memory writer (no file); rows are retrievable via str().
+  explicit CsvWriter(const std::vector<std::string>& columns);
+
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Appends one row; the cell count must match the header.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats arbitrary streamable values into one row.
+  template <typename... Ts>
+  void row_values(const Ts&... values) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(values));
+    (cells.push_back(to_cell(values)), ...);
+    row(cells);
+  }
+
+  /// Full CSV text accumulated so far (header + rows).
+  std::string str() const { return buffer_.str(); }
+
+  std::size_t row_count() const { return rows_; }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& value) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  }
+
+  void emit(const std::string& line);
+
+  std::ostringstream buffer_;
+  std::ofstream file_;
+  bool has_file_ = false;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace dfc

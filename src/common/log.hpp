@@ -1,0 +1,53 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded by design (two-phase clocked simulation),
+// so the logger keeps no locks; it writes to stderr and supports a global
+// level filter. Format is intentionally plain so bench output stays parseable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dfc {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global log level; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emits one formatted line to stderr if `level` passes the filter.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace dfc
+
+#define DFC_LOG(level)                                  \
+  if (::dfc::log_level() > (level)) {                   \
+  } else                                                \
+    ::dfc::detail::LogLine(level)
+
+#define DFC_LOG_TRACE DFC_LOG(::dfc::LogLevel::kTrace)
+#define DFC_LOG_DEBUG DFC_LOG(::dfc::LogLevel::kDebug)
+#define DFC_LOG_INFO DFC_LOG(::dfc::LogLevel::kInfo)
+#define DFC_LOG_WARN DFC_LOG(::dfc::LogLevel::kWarn)
+#define DFC_LOG_ERROR DFC_LOG(::dfc::LogLevel::kError)

@@ -1,0 +1,56 @@
+// Small integer/float helpers shared across modules.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace dfc {
+
+/// Ceiling division for non-negative integers.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Rounds `a` up to the next multiple of `b` (b > 0).
+constexpr std::int64_t round_up(std::int64_t a, std::int64_t b) {
+  return ceil_div(a, b) * b;
+}
+
+/// True if `x` is a power of two (x > 0).
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// ceil(log2(x)) for x >= 1.
+constexpr int ceil_log2(std::uint64_t x) {
+  int bits = 0;
+  std::uint64_t v = 1;
+  while (v < x) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+/// Relative-plus-absolute float comparison suitable for accumulated sums that
+/// are reassociated by the hardware tree adder.
+inline bool almost_equal(float a, float b, float rel = 1e-4f, float abs = 1e-5f) {
+  const float diff = std::fabs(a - b);
+  if (diff <= abs) return true;
+  const float largest = std::fmax(std::fabs(a), std::fabs(b));
+  return diff <= rel * largest;
+}
+
+/// Maximum absolute elementwise difference between two equally sized ranges.
+template <typename Range>
+double max_abs_diff(const Range& a, const Range& b) {
+  DFC_REQUIRE(a.size() == b.size(), "max_abs_diff: size mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::fmax(worst, std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i])));
+  }
+  return worst;
+}
+
+}  // namespace dfc

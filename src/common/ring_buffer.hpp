@@ -1,0 +1,75 @@
+// Fixed-capacity ring buffer used as the storage of simulated FIFOs.
+//
+// Capacity is fixed at construction (hardware FIFOs do not grow); push/pop
+// are O(1) and never allocate after construction.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dfc {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : storage_(capacity) {
+    DFC_REQUIRE(capacity > 0, "RingBuffer capacity must be positive");
+  }
+
+  std::size_t capacity() const { return storage_.size(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == storage_.size(); }
+
+  /// Appends an element; the buffer must not be full.
+  void push(T value) {
+    DFC_ASSERT(!full(), "RingBuffer overflow");
+    storage_[tail_] = std::move(value);
+    tail_ = advance(tail_);
+    ++size_;
+  }
+
+  /// Removes and returns the oldest element; the buffer must not be empty.
+  T pop() {
+    DFC_ASSERT(!empty(), "RingBuffer underflow");
+    T value = std::move(storage_[head_]);
+    head_ = advance(head_);
+    --size_;
+    return value;
+  }
+
+  /// Oldest element without removing it.
+  const T& front() const {
+    DFC_ASSERT(!empty(), "RingBuffer::front on empty buffer");
+    return storage_[head_];
+  }
+
+  /// Element `i` positions behind the front (0 == front).
+  const T& at(std::size_t i) const {
+    DFC_ASSERT(i < size_, "RingBuffer::at out of range");
+    std::size_t idx = head_ + i;
+    if (idx >= storage_.size()) idx -= storage_.size();
+    return storage_[idx];
+  }
+
+  void clear() {
+    head_ = tail_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::size_t advance(std::size_t i) const {
+    ++i;
+    return i == storage_.size() ? 0 : i;
+  }
+
+  std::vector<T> storage_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dfc

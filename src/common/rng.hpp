@@ -1,0 +1,103 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components (dataset synthesis, weight initialization,
+// property-test input generation) draw from dfc::Rng so that every test and
+// benchmark is reproducible from a single seed. The engine is xoshiro256**,
+// which is fast, has 256 bits of state, and passes BigCrush.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace dfc {
+
+/// xoshiro256** engine with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initializes the state from `seed` via splitmix64 so that nearby seeds
+  /// yield uncorrelated streams.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  std::uint64_t next_below(std::uint64_t bound) {
+    DFC_ASSERT(bound > 0, "next_below bound must be positive");
+    // Classic rejection sampling: discard draws below 2^64 mod bound so the
+    // modulo is unbiased.
+    const std::uint64_t threshold = (0ULL - bound) % bound;
+    for (;;) {
+      const std::uint64_t x = next_u64();
+      if (x >= threshold) return x % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi) {
+    DFC_ASSERT(lo <= hi, "next_int range is empty");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_below(span));
+  }
+
+  /// Uniform float in [0, 1).
+  float next_float() {
+    return static_cast<float>(next_u64() >> 40) * 0x1.0p-24f;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) { return lo + (hi - lo) * next_float(); }
+
+  /// Standard normal via Box-Muller (no cached spare; keeps state simple).
+  float normal() {
+    // Avoid log(0) by mapping the uniform draw to (0, 1].
+    const float u1 = 1.0f - next_float();
+    const float u2 = next_float();
+    return std::sqrt(-2.0f * std::log(u1)) *
+           std::cos(2.0f * std::numbers::pi_v<float> * u2);
+  }
+
+  /// Normal with given mean and standard deviation.
+  float normal(float mean, float stddev) { return mean + stddev * normal(); }
+
+  /// Bernoulli draw with probability `p` of true.
+  bool bernoulli(double p) { return next_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace dfc

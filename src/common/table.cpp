@@ -1,0 +1,76 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace dfc {
+
+AsciiTable::AsciiTable(std::vector<std::string> header) : header_(std::move(header)) {
+  DFC_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  DFC_REQUIRE(cells.size() == header_.size(), "table row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += ' ' + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return line + '\n';
+  };
+
+  std::string sep = "+";
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    sep += std::string(widths[c] + 2, '-') + '+';
+  }
+  sep += '\n';
+
+  std::string out = sep + render_row(header_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+std::string fmt_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int decimals) {
+  return fmt_fixed(fraction * 100.0, decimals) + "%";
+}
+
+std::string fmt_si(double value, int decimals) {
+  const char* suffix = "";
+  double v = value;
+  const double a = std::fabs(value);
+  if (a >= 1e9) {
+    v = value / 1e9;
+    suffix = "G";
+  } else if (a >= 1e6) {
+    v = value / 1e6;
+    suffix = "M";
+  } else if (a >= 1e3) {
+    v = value / 1e3;
+    suffix = "k";
+  }
+  return fmt_fixed(v, decimals) + suffix;
+}
+
+}  // namespace dfc

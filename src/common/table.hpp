@@ -1,0 +1,31 @@
+// ASCII table printer used by the benchmark harness to render paper tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dfc {
+
+/// Collects rows of string cells and renders an aligned ASCII table.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header separator.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers for table cells.
+std::string fmt_fixed(double value, int decimals);
+std::string fmt_percent(double fraction, int decimals = 2);
+std::string fmt_si(double value, int decimals = 2);
+
+}  // namespace dfc

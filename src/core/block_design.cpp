@@ -1,0 +1,103 @@
+#include "core/block_design.hpp"
+
+#include <sstream>
+
+namespace dfc::core {
+
+namespace {
+
+struct BlockInfo {
+  std::string title;
+  std::vector<std::string> lines;
+};
+
+BlockInfo block_info(const LayerSpec& layer, const Shape3& in_shape) {
+  BlockInfo b;
+  if (const auto* conv = std::get_if<ConvLayerSpec>(&layer)) {
+    b.title = "Convolution";
+    b.lines.push_back("window " + std::to_string(conv->kh) + "x" + std::to_string(conv->kw));
+    b.lines.push_back("channels " + std::to_string(in_shape.c) + " in / " +
+                      std::to_string(conv->out_fm) + " out");
+    b.lines.push_back("windows in: " + std::to_string(conv->in_ports));
+    b.lines.push_back("ports " + std::to_string(conv->in_ports) + "/" +
+                      std::to_string(conv->out_ports) + "  II=" +
+                      std::to_string(conv->initiation_interval()));
+  } else if (const auto* pool = std::get_if<PoolLayerSpec>(&layer)) {
+    b.title = std::string(dfc::hls::pool_mode_name(pool->mode)) + "-pool";
+    b.lines.push_back("window " + std::to_string(pool->kh) + "x" + std::to_string(pool->kw) +
+                      ", stride " + std::to_string(pool->stride));
+    b.lines.push_back("channels " + std::to_string(in_shape.c));
+    b.lines.push_back("parallel cores: " + std::to_string(pool->ports));
+  } else {
+    const auto& fcn = std::get<FcnLayerSpec>(layer);
+    b.title = "Fully-connected";
+    b.lines.push_back("window 1x1");
+    b.lines.push_back("channels " + std::to_string(fcn.in_count) + " in / " +
+                      std::to_string(fcn.out_count) + " out");
+    b.lines.push_back("single in/out port");
+  }
+  return b;
+}
+
+std::string box(const BlockInfo& b) {
+  std::size_t width = b.title.size();
+  for (const auto& l : b.lines) width = std::max(width, l.size());
+  width += 2;
+  std::ostringstream os;
+  os << "  +" << std::string(width, '-') << "+\n";
+  os << "  | " << b.title << std::string(width - b.title.size() - 1, ' ') << "|\n";
+  os << "  +" << std::string(width, '-') << "+\n";
+  for (const auto& l : b.lines) {
+    os << "  | " << l << std::string(width - l.size() - 1, ' ') << "|\n";
+  }
+  os << "  +" << std::string(width, '-') << "+\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string block_design_ascii(const NetworkSpec& spec) {
+  std::ostringstream os;
+  os << "Block design: " << spec.name << "  (input " << spec.input_shape.str() << ")\n\n";
+  os << "  [DMA source: 1x 32-bit stream @ 400 MB/s]\n";
+  Shape3 shape = spec.input_shape;
+  for (const LayerSpec& layer : spec.layers) {
+    const int in_p = layer_in_ports(layer);
+    os << "        |  x" << in_p << (in_p > 1 ? " parallel streams\n" : "\n");
+    os << "        v\n";
+    os << box(block_info(layer, shape));
+    shape = layer_out_shape(layer);
+  }
+  os << "        |\n        v\n  [DMA sink: " << shape.volume() << " class scores]\n";
+  return os.str();
+}
+
+std::string block_design_dot(const NetworkSpec& spec) {
+  std::ostringstream os;
+  os << "digraph \"" << spec.name << "\" {\n";
+  os << "  rankdir=TB;\n  node [shape=record, fontname=\"Helvetica\"];\n";
+  os << "  dma_in [label=\"DMA source|32-bit stream\\n400 MB/s\"];\n";
+  Shape3 shape = spec.input_shape;
+  std::string prev = "dma_in";
+  int prev_ports = 1;
+  for (std::size_t i = 0; i < spec.layers.size(); ++i) {
+    const LayerSpec& layer = spec.layers[i];
+    const BlockInfo b = block_info(layer, shape);
+    const std::string id = "l" + std::to_string(i);
+    os << "  " << id << " [label=\"" << b.title;
+    for (const auto& l : b.lines) os << "|" << l;
+    os << "\"];\n";
+    const int in_p = layer_in_ports(layer);
+    os << "  " << prev << " -> " << id << " [label=\"" << std::max(prev_ports, in_p)
+       << " ch\"];\n";
+    prev = id;
+    prev_ports = layer_out_ports(layer);
+    shape = layer_out_shape(layer);
+  }
+  os << "  dma_out [label=\"DMA sink|" << shape.volume() << " class scores\"];\n";
+  os << "  " << prev << " -> dma_out;\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace dfc::core

@@ -1,0 +1,21 @@
+// Block-design export of a network (reproduces Figs. 4 and 5).
+//
+// Each block reports, as in the paper's figures, the window size, the number
+// of input and output channels, the number of windows taken as input
+// (= input ports), and the port counts; the ASCII rendering goes to the
+// bench output and the DOT form can be rendered with Graphviz.
+#pragma once
+
+#include <string>
+
+#include "core/network_spec.hpp"
+
+namespace dfc::core {
+
+/// Multi-line ASCII block diagram of the dataflow design.
+std::string block_design_ascii(const NetworkSpec& spec);
+
+/// Graphviz DOT description of the dataflow design.
+std::string block_design_dot(const NetworkSpec& spec);
+
+}  // namespace dfc::core

@@ -1,0 +1,50 @@
+// Assembles a NetworkSpec into a simulated accelerator: SST memory
+// structures, compute cores, port adapters and the DMA endpoints, all wired
+// with FIFO channels inside one SimContext.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/dma.hpp"
+#include "core/link.hpp"
+#include "core/network_spec.hpp"
+#include "dataflow/sim_context.hpp"
+#include "hlscore/conv_core.hpp"
+#include "hlscore/fcn_core.hpp"
+#include "hlscore/pool_core.hpp"
+
+namespace dfc::core {
+
+struct BuildOptions {
+  std::size_t stream_fifo_capacity = 8;  ///< inter-module value channels
+  std::size_t window_fifo_capacity = 4;  ///< memory structure -> compute core
+  int dma_cycles_per_word = 1;           ///< 1 = 32-bit @ 100 MHz = 400 MB/s
+
+  /// Multi-FPGA mapping: device index per layer (empty = all on device 0).
+  /// Wherever consecutive layers sit on different devices, every stream port
+  /// crossing the boundary goes through a LinkChannel. The DMA endpoints live
+  /// with the first/last layer's device.
+  std::vector<std::size_t> layer_device;
+  LinkModel link{};
+};
+
+/// A built accelerator. The SimContext owns all processes and FIFOs; the raw
+/// pointers here are stable views for measurement and tests.
+struct Accelerator {
+  std::unique_ptr<dfc::df::SimContext> ctx;
+  NetworkSpec spec;
+
+  DmaSource* source = nullptr;
+  DmaSink* sink = nullptr;
+
+  std::vector<dfc::hls::ConvCore*> conv_cores;
+  std::vector<dfc::hls::FcnCore*> fcn_cores;
+  std::vector<dfc::hls::PoolCore*> pool_cores;
+  std::vector<LinkChannel*> links;  ///< inter-FPGA channels, if any
+};
+
+/// Builds the full design. Throws ConfigError on invalid specs.
+Accelerator build_accelerator(const NetworkSpec& spec, const BuildOptions& options = {});
+
+}  // namespace dfc::core

@@ -1,0 +1,108 @@
+#include "core/compile.hpp"
+
+#include "common/error.hpp"
+
+namespace dfc::core {
+
+std::vector<float> permute_fcn_weights_to_stream_order(const std::vector<float>& weights,
+                                                       std::int64_t out_count,
+                                                       const Shape3& feature_shape) {
+  const std::int64_t in_count = feature_shape.volume();
+  DFC_REQUIRE(static_cast<std::int64_t>(weights.size()) == in_count * out_count,
+              "FCN weight permutation: size mismatch");
+  std::vector<float> permuted(weights.size());
+  for (std::int64_t j = 0; j < out_count; ++j) {
+    for (std::int64_t c = 0; c < feature_shape.c; ++c) {
+      for (std::int64_t y = 0; y < feature_shape.h; ++y) {
+        for (std::int64_t x = 0; x < feature_shape.w; ++x) {
+          const std::int64_t chw = (c * feature_shape.h + y) * feature_shape.w + x;
+          const std::int64_t stream = (y * feature_shape.w + x) * feature_shape.c + c;
+          permuted[static_cast<std::size_t>(j * in_count + stream)] =
+              weights[static_cast<std::size_t>(j * in_count + chw)];
+        }
+      }
+    }
+  }
+  return permuted;
+}
+
+NetworkSpec compile(const nn::Sequential& net, const Shape3& input_shape,
+                    const PortPlan& plan, std::string name, const OpLatency& latency) {
+  NetworkSpec spec;
+  spec.name = std::move(name);
+  spec.input_shape = input_shape;
+  spec.latency = latency;
+
+  Shape3 shape = input_shape;
+  std::size_t conv_index = 0;
+  int upstream_ports = 1;  // the DMA input is one 32-bit stream
+  bool in_feature_extractor = true;
+
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const nn::Layer& layer = net.layer(i);
+    switch (layer.kind()) {
+      case nn::LayerKind::kConv: {
+        const auto& conv = dynamic_cast<const nn::Conv2d&>(layer);
+        ConvPorts ports;
+        if (conv_index < plan.conv.size()) ports = plan.conv[conv_index];
+        ++conv_index;
+        ConvLayerSpec s;
+        s.in_shape = shape;
+        s.out_fm = conv.out_channels();
+        s.kh = conv.kh();
+        s.kw = conv.kw();
+        s.stride = conv.stride();
+        s.pad = conv.padding();
+        s.in_ports = ports.in_ports;
+        s.out_ports = ports.out_ports;
+        s.use_filter_chain = ports.use_filter_chain;
+        s.act = conv.activation();
+        s.weights = conv.weights();
+        s.biases = conv.biases();
+        spec.layers.emplace_back(std::move(s));
+        upstream_ports = ports.out_ports;
+        shape = std::get<ConvLayerSpec>(spec.layers.back()).out_shape();
+        break;
+      }
+      case nn::LayerKind::kPool: {
+        const auto& pool = dynamic_cast<const nn::Pool2d&>(layer);
+        PoolLayerSpec s;
+        s.in_shape = shape;
+        s.mode = pool.mode();
+        s.kh = pool.kh();
+        s.kw = pool.kw();
+        s.stride = pool.stride();
+        s.ports = upstream_ports;  // one core per upstream port (Sec. IV-C)
+        s.use_filter_chain = plan.pool_filter_chain;
+        spec.layers.emplace_back(std::move(s));
+        shape = std::get<PoolLayerSpec>(spec.layers.back()).out_shape();
+        break;
+      }
+      case nn::LayerKind::kLinear: {
+        const auto& lin = dynamic_cast<const nn::Linear&>(layer);
+        FcnLayerSpec s;
+        s.in_count = lin.in_count();
+        s.out_count = lin.out_count();
+        s.act = lin.activation();
+        s.num_accumulators = plan.fcn_accumulators;
+        if (in_feature_extractor && shape.h * shape.w != 1) {
+          // First FCN: its on-chip input stream is pixel-major interleaved.
+          s.weights = permute_fcn_weights_to_stream_order(lin.weights(), lin.out_count(), shape);
+        } else {
+          s.weights = lin.weights();
+        }
+        s.biases = lin.biases();
+        spec.layers.emplace_back(std::move(s));
+        in_feature_extractor = false;
+        upstream_ports = 1;
+        shape = Shape3{lin.out_count(), 1, 1};
+        break;
+      }
+    }
+  }
+
+  spec.validate();
+  return spec;
+}
+
+}  // namespace dfc::core

@@ -1,0 +1,50 @@
+// Compiles a trained reference network into a deployable NetworkSpec.
+//
+// The PortPlan carries the designer's (or the DSE's) per-layer scalability
+// choices: input/output port counts for convolutional layers and accumulator
+// interleaving for FCN layers. Pool layers always instantiate one core per
+// upstream port (paper Sec. IV-C), so they take no plan entry. Weights are
+// copied into the spec ("hard-coded at design time"); the first FCN after
+// the feature extractor has its weight columns permuted from tensor (CHW)
+// order to the pixel-major channel-interleaved order of the value stream it
+// will receive on chip.
+#pragma once
+
+#include <vector>
+
+#include "core/network_spec.hpp"
+#include "nn/sequential.hpp"
+
+namespace dfc::core {
+
+struct ConvPorts {
+  int in_ports = 1;
+  int out_ports = 1;
+  bool use_filter_chain = false;
+};
+
+struct PortPlan {
+  /// One entry per *convolutional* layer, in network order. Missing entries
+  /// default to single-input-port/single-output-port.
+  std::vector<ConvPorts> conv;
+
+  /// Accumulator lanes for every FCN core (paper Sec. IV-B).
+  int fcn_accumulators = 11;
+
+  /// Element-level SST chains in pool layers too (slow, for validation).
+  bool pool_filter_chain = false;
+};
+
+/// Builds the spec; throws ConfigError if the plan is incompatible with the
+/// network (port divisibility, adapter constraints).
+NetworkSpec compile(const nn::Sequential& net, const Shape3& input_shape,
+                    const PortPlan& plan, std::string name,
+                    const OpLatency& latency = {});
+
+/// Permutes FCN weight columns from CHW feature indexing to the stream order
+/// (y, x, c) produced by the feature extractor. Exposed for tests.
+std::vector<float> permute_fcn_weights_to_stream_order(const std::vector<float>& weights,
+                                                       std::int64_t out_count,
+                                                       const Shape3& feature_shape);
+
+}  // namespace dfc::core

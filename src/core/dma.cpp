@@ -1,0 +1,84 @@
+#include "core/dma.hpp"
+
+#include "common/error.hpp"
+
+namespace dfc::core {
+
+using dfc::axis::Flit;
+
+DmaSource::DmaSource(std::string name, dfc::df::Fifo<Flit>& out, Shape3 image_shape,
+                     int cycles_per_word)
+    : Process(std::move(name)),
+      out_(out),
+      image_shape_(image_shape),
+      cycles_per_word_(cycles_per_word) {
+  DFC_REQUIRE(cycles_per_word_ >= 1, "DMA rate must be >= 1 cycle/word");
+}
+
+void DmaSource::enqueue(const Tensor& image) {
+  DFC_REQUIRE(image.shape() == image_shape_,
+              "DMA image shape mismatch: " + image.shape().str() + " vs " +
+                  image_shape_.str());
+  const auto flits = dfc::axis::pack_port_stream(image, 1, 0);
+  buffer_.insert(buffer_.end(), flits.begin(), flits.end());
+}
+
+void DmaSource::on_clock() {
+  if (buffer_.empty() || now() < next_send_cycle_) return;
+  if (!out_.can_push()) {
+    out_.note_full_stall();
+    return;
+  }
+  if (words_into_image_ == 0) {
+    inject_cycles_.push_back(now());
+    ++images_started_;
+  }
+  out_.push(buffer_.front());
+  buffer_.pop_front();
+  next_send_cycle_ = now() + static_cast<std::uint64_t>(cycles_per_word_);
+  if (++words_into_image_ == image_shape_.volume()) {
+    words_into_image_ = 0;
+    ++images_sent_;
+  }
+}
+
+void DmaSource::reset() {
+  buffer_.clear();
+  words_into_image_ = 0;
+  next_send_cycle_ = 0;
+  images_started_ = 0;
+  images_sent_ = 0;
+  inject_cycles_.clear();
+}
+
+DmaSink::DmaSink(std::string name, dfc::df::Fifo<Flit>& in, std::int64_t values_per_image,
+                 int cycles_per_word)
+    : Process(std::move(name)),
+      in_(in),
+      values_per_image_(values_per_image),
+      cycles_per_word_(cycles_per_word) {
+  DFC_REQUIRE(values_per_image_ >= 1, "DMA sink needs at least one value per image");
+  DFC_REQUIRE(cycles_per_word_ >= 1, "DMA rate must be >= 1 cycle/word");
+  current_.reserve(static_cast<std::size_t>(values_per_image_));
+}
+
+void DmaSink::on_clock() {
+  if (now() < next_recv_cycle_ || !in_.can_pop()) return;
+  current_.push_back(in_.pop().data);
+  next_recv_cycle_ = now() + static_cast<std::uint64_t>(cycles_per_word_);
+  if (static_cast<std::int64_t>(current_.size()) == values_per_image_) {
+    completion_cycles_.push_back(now());
+    outputs_.push_back(std::move(current_));
+    current_.clear();
+    current_.reserve(static_cast<std::size_t>(values_per_image_));
+  }
+}
+
+void DmaSink::reset() {
+  current_.clear();
+  next_recv_cycle_ = 0;
+  completion_cycles_.clear();
+  outputs_.clear();
+}
+
+}  // namespace dfc::core

@@ -1,0 +1,86 @@
+// AXI DMA model (paper Sec. V-A).
+//
+// The paper's test harness is a MicroBlaze + AXI DMA + AXI Timer base
+// design; the datapath towards the CNN is 32 bits wide with 400 MB/s
+// available bandwidth, which at the 100 MHz fabric clock is exactly one
+// 32-bit word per cycle in each direction (the AXI DMA has independent
+// MM2S and S2MM channels). Performance measurements include these
+// transfers, as they are interleaved with computation.
+//
+// DmaSource streams queued images back to back (the batch mode that makes
+// the high-level pipeline pay off); DmaSink collects the classifier outputs
+// and records per-image injection/completion cycles for the harness.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "axis/flit.hpp"
+#include "dataflow/fifo.hpp"
+#include "dataflow/process.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dfc::core {
+
+class DmaSource final : public dfc::df::Process {
+ public:
+  /// `cycles_per_word` models the available stream bandwidth: 1 is the
+  /// paper's setup (32-bit @ 100 MHz = 400 MB/s); larger values throttle the
+  /// channel (e.g. 4 = 100 MB/s) for bandwidth-sensitivity studies.
+  DmaSource(std::string name, dfc::df::Fifo<dfc::axis::Flit>& out, Shape3 image_shape,
+            int cycles_per_word = 1);
+
+  void on_clock() override;
+  void reset() override;
+  bool done() const override { return buffer_.empty(); }
+
+  /// Queues an image for streaming (CHW tensor, sent pixel-major with
+  /// channels interleaved — the single-port stream format).
+  void enqueue(const Tensor& image);
+
+  std::uint64_t images_started() const { return images_started_; }
+  std::uint64_t images_sent() const { return images_sent_; }
+
+  /// Cycle at which image i's first word entered the stream.
+  const std::vector<std::uint64_t>& inject_cycles() const { return inject_cycles_; }
+
+ private:
+  dfc::df::Fifo<dfc::axis::Flit>& out_;
+  Shape3 image_shape_;
+  int cycles_per_word_;
+  std::uint64_t next_send_cycle_ = 0;
+  std::deque<dfc::axis::Flit> buffer_;
+  std::int64_t words_into_image_ = 0;
+  std::uint64_t images_started_ = 0;
+  std::uint64_t images_sent_ = 0;
+  std::vector<std::uint64_t> inject_cycles_;
+};
+
+class DmaSink final : public dfc::df::Process {
+ public:
+  DmaSink(std::string name, dfc::df::Fifo<dfc::axis::Flit>& in, std::int64_t values_per_image,
+          int cycles_per_word = 1);
+
+  void on_clock() override;
+  void reset() override;
+
+  std::uint64_t images_completed() const { return completion_cycles_.size(); }
+
+  /// Cycle at which image i's last output word arrived.
+  const std::vector<std::uint64_t>& completion_cycles() const { return completion_cycles_; }
+
+  /// Classifier outputs per image.
+  const std::vector<std::vector<float>>& outputs() const { return outputs_; }
+
+ private:
+  dfc::df::Fifo<dfc::axis::Flit>& in_;
+  std::int64_t values_per_image_;
+  int cycles_per_word_;
+  std::uint64_t next_recv_cycle_ = 0;
+  std::vector<float> current_;
+  std::vector<std::uint64_t> completion_cycles_;
+  std::vector<std::vector<float>> outputs_;
+};
+
+}  // namespace dfc::core

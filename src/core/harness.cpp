@@ -1,0 +1,62 @@
+#include "core/harness.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dfc::core {
+
+std::uint64_t BatchResult::steady_interval_cycles() const {
+  DFC_REQUIRE(completion_cycles.size() >= 2, "steady interval needs a batch of >= 2 images");
+  const std::size_t n = completion_cycles.size();
+  return completion_cycles[n - 1] - completion_cycles[n - 2];
+}
+
+std::int64_t BatchResult::predicted_class(std::size_t i) const {
+  const auto& logits = outputs.at(i);
+  return static_cast<std::int64_t>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+BatchResult AcceleratorHarness::collect(std::uint64_t start_cycle) const {
+  BatchResult r;
+  r.start_cycle = start_cycle;
+  r.inject_cycles = acc_.source->inject_cycles();
+  r.completion_cycles = acc_.sink->completion_cycles();
+  r.outputs = acc_.sink->outputs();
+  DFC_CHECK(!r.completion_cycles.empty(), "no images completed");
+  r.end_cycle = r.completion_cycles.back();
+  return r;
+}
+
+BatchResult AcceleratorHarness::run_batch(const std::vector<Tensor>& images,
+                                          std::uint64_t max_cycles) {
+  DFC_REQUIRE(!images.empty(), "run_batch needs at least one image");
+  reset();
+  const std::uint64_t start = acc_.ctx->cycle();
+  for (const Tensor& img : images) acc_.source->enqueue(img);
+  const std::size_t want = images.size();
+  acc_.ctx->run_until([&] { return acc_.sink->images_completed() >= want; }, max_cycles);
+  return collect(start);
+}
+
+BatchResult AcceleratorHarness::run_sequential(const std::vector<Tensor>& images,
+                                               std::uint64_t max_cycles) {
+  DFC_REQUIRE(!images.empty(), "run_sequential needs at least one image");
+  reset();
+  const std::uint64_t start = acc_.ctx->cycle();
+  for (std::size_t n = 0; n < images.size(); ++n) {
+    acc_.source->enqueue(images[n]);
+    const std::size_t want = n + 1;
+    acc_.ctx->run_until([&] { return acc_.sink->images_completed() >= want; }, max_cycles);
+  }
+  return collect(start);
+}
+
+std::vector<float> AcceleratorHarness::run_image(const Tensor& image) {
+  return run_batch({image}).outputs.front();
+}
+
+void AcceleratorHarness::reset() { acc_.ctx->reset(); }
+
+}  // namespace dfc::core

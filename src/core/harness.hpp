@@ -1,0 +1,84 @@
+// Host-side measurement harness (the simulated MicroBlaze + AXI Timer).
+//
+// Two execution modes reproduce the paper's evaluation:
+//  * run_batch: images stream back to back, so at steady state every layer
+//    works concurrently (the high-level pipeline, Fig. 6);
+//  * run_sequential: each image is fully processed (drained) before the next
+//    is injected — the no-pipeline baseline the batch mode is compared to.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/builder.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dfc::core {
+
+/// Fabric clock of the paper's designs (100 MHz on the VC707).
+constexpr double kClockHz = 100e6;
+
+inline double cycles_to_seconds(double cycles, double clock_hz = kClockHz) {
+  return cycles / clock_hz;
+}
+inline double cycles_to_us(double cycles, double clock_hz = kClockHz) {
+  return cycles / clock_hz * 1e6;
+}
+
+struct BatchResult {
+  std::uint64_t start_cycle = 0;
+  std::uint64_t end_cycle = 0;  ///< completion of the last image
+  std::vector<std::uint64_t> inject_cycles;
+  std::vector<std::uint64_t> completion_cycles;
+  std::vector<std::vector<float>> outputs;  ///< classifier logits per image
+
+  std::size_t batch_size() const { return outputs.size(); }
+  std::uint64_t total_cycles() const { return end_cycle - start_cycle; }
+
+  /// The paper's Fig. 6 metric: batch wall time divided by batch size.
+  double mean_cycles_per_image() const {
+    return static_cast<double>(total_cycles()) / static_cast<double>(batch_size());
+  }
+
+  /// End-to-end latency of image i (injection to last output word).
+  std::uint64_t image_latency_cycles(std::size_t i) const {
+    return completion_cycles.at(i) - inject_cycles.at(i);
+  }
+
+  /// Steady-state initiation interval: cycles between the completions of the
+  /// last two images (meaningful for batch_size >= 2).
+  std::uint64_t steady_interval_cycles() const;
+
+  /// Predicted class of image i (argmax over its logits).
+  std::int64_t predicted_class(std::size_t i) const;
+};
+
+class AcceleratorHarness {
+ public:
+  explicit AcceleratorHarness(Accelerator acc) : acc_(std::move(acc)) {}
+
+  /// Streams the whole batch back to back (pipelined mode).
+  BatchResult run_batch(const std::vector<Tensor>& images,
+                        std::uint64_t max_cycles = dfc::df::SimContext::kDefaultMaxCycles);
+
+  /// Processes images one at a time, draining the design between images
+  /// (no high-level pipeline).
+  BatchResult run_sequential(const std::vector<Tensor>& images,
+                             std::uint64_t max_cycles = dfc::df::SimContext::kDefaultMaxCycles);
+
+  /// Single-image convenience returning the logits.
+  std::vector<float> run_image(const Tensor& image);
+
+  Accelerator& accelerator() { return acc_; }
+  const NetworkSpec& spec() const { return acc_.spec; }
+
+  /// Resets the whole design to its power-on state.
+  void reset();
+
+ private:
+  BatchResult collect(std::uint64_t start_cycle) const;
+
+  Accelerator acc_;
+};
+
+}  // namespace dfc::core

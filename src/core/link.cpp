@@ -1,0 +1,40 @@
+#include "core/link.hpp"
+
+namespace dfc::core {
+
+using dfc::axis::Flit;
+
+LinkChannel::LinkChannel(std::string name, LinkModel model, dfc::df::Fifo<Flit>& in,
+                         dfc::df::Fifo<Flit>& out)
+    : Process(std::move(name)), model_(model), in_(in), out_(out) {
+  model_.validate();
+  // Enough wire slots that the traversal latency never throttles the accept
+  // rate (the words physically in flight on the serial lanes).
+  in_flight_limit_ = static_cast<std::size_t>(
+      model_.latency_cycles / model_.cycles_per_word + 2);
+}
+
+void LinkChannel::on_clock() {
+  if (!in_flight_.empty() && now() >= in_flight_.front().ready_cycle) {
+    if (out_.can_push()) {
+      out_.push(in_flight_.front().flit);
+      in_flight_.pop_front();
+    } else {
+      out_.note_full_stall();
+    }
+  }
+  if (now() >= next_accept_cycle_ && in_flight_.size() < in_flight_limit_ && in_.can_pop()) {
+    in_flight_.push_back(
+        Wire{now() + static_cast<std::uint64_t>(model_.latency_cycles), in_.pop()});
+    next_accept_cycle_ = now() + static_cast<std::uint64_t>(model_.cycles_per_word);
+    ++words_;
+  }
+}
+
+void LinkChannel::reset() {
+  in_flight_.clear();
+  next_accept_cycle_ = 0;
+  words_ = 0;
+}
+
+}  // namespace dfc::core

@@ -1,0 +1,67 @@
+#include "core/presets.hpp"
+
+namespace dfc::core {
+
+Preset make_usps_preset(std::uint64_t seed) {
+  Preset p;
+  p.name = "usps-tc1";
+  p.input_shape = Shape3{1, 16, 16};
+  p.net.emplace<nn::Conv2d>(1, 6, 5, 5, 1, Activation::kTanh);
+  p.net.emplace<nn::Pool2d>(PoolMode::kMax, 2, 2, 2);
+  p.net.emplace<nn::Conv2d>(6, 16, 5, 5, 1, Activation::kTanh);
+  p.net.emplace<nn::Linear>(64, 10, Activation::kNone);
+  Rng rng(seed);
+  p.net.init_weights(rng);
+  // First conv and first sub-sampling fully parallelized; second conv with a
+  // single output port (Sec. V-B.1). Pool cores follow the upstream ports.
+  p.plan.conv = {ConvPorts{1, 6}, ConvPorts{6, 1}};
+  return p;
+}
+
+Preset make_cifar_preset(std::uint64_t seed) {
+  Preset p;
+  p.name = "cifar-tc2";
+  p.input_shape = Shape3{3, 32, 32};
+  p.net.emplace<nn::Conv2d>(3, 12, 5, 5, 1, Activation::kTanh);
+  p.net.emplace<nn::Pool2d>(PoolMode::kMax, 2, 2, 2);
+  p.net.emplace<nn::Conv2d>(12, 36, 5, 5, 1, Activation::kTanh);
+  p.net.emplace<nn::Pool2d>(PoolMode::kMax, 2, 2, 2);
+  p.net.emplace<nn::Linear>(900, 84, Activation::kTanh);
+  p.net.emplace<nn::Linear>(84, 10, Activation::kNone);
+  Rng rng(seed);
+  p.net.init_weights(rng);
+  // Too large to parallelize on the xc7vx485t: every conv single-in/single-out.
+  p.plan.conv = {ConvPorts{1, 1}, ConvPorts{1, 1}};
+  return p;
+}
+
+Preset make_alexnet_mini_preset(std::uint64_t seed) {
+  Preset p;
+  p.name = "alexnet-mini";
+  p.input_shape = Shape3{3, 64, 64};
+  p.net.emplace<nn::Conv2d>(3, 16, 7, 7, 2, Activation::kRelu, 2);   // 64 -> 31
+  p.net.emplace<nn::Pool2d>(PoolMode::kMax, 2, 2, 2);                // -> 15
+  p.net.emplace<nn::Conv2d>(16, 32, 5, 5, 1, Activation::kRelu, 2);  // -> 15
+  p.net.emplace<nn::Pool2d>(PoolMode::kMax, 2, 2, 2);                // -> 7
+  p.net.emplace<nn::Conv2d>(32, 48, 3, 3, 1, Activation::kRelu, 1);  // -> 7
+  p.net.emplace<nn::Conv2d>(48, 32, 3, 3, 1, Activation::kRelu, 1);  // -> 7
+  p.net.emplace<nn::Pool2d>(PoolMode::kMax, 2, 2, 2);                // -> 3
+  p.net.emplace<nn::Linear>(32 * 3 * 3, 64, Activation::kTanh);
+  p.net.emplace<nn::Linear>(64, 10, Activation::kNone);
+  Rng rng(seed);
+  p.net.init_weights(rng);
+  // conv1 widened so the 7x7 front end is not the pipeline bottleneck; the
+  // deeper layers stay at their single-port Eq. 4 floor.
+  p.plan.conv = {ConvPorts{1, 2}, ConvPorts{2, 1}, ConvPorts{1, 1}, ConvPorts{1, 1}};
+  return p;
+}
+
+NetworkSpec make_usps_spec(std::uint64_t seed) { return make_usps_preset(seed).compile_spec(); }
+
+NetworkSpec make_cifar_spec(std::uint64_t seed) { return make_cifar_preset(seed).compile_spec(); }
+
+NetworkSpec make_alexnet_mini_spec(std::uint64_t seed) {
+  return make_alexnet_mini_preset(seed).compile_spec();
+}
+
+}  // namespace dfc::core

@@ -1,0 +1,52 @@
+// The paper's two test-case networks (Sec. V-B, Figs. 4 and 5).
+//
+// Test case 1 (USPS, 16x16 grayscale digits, 4 layers):
+//   conv 5x5 1->6 (fully parallel: 6 output ports, II = 1)
+//   max-pool 2x2 stride 2 (fully parallel: 6 cores)
+//   conv 5x5 6->16 (6 input ports, single output port, II = 16)
+//   fcn 64->10
+//
+// Test case 2 (CIFAR-10, 32x32 RGB, 6 layers; too large to parallelize, all
+// layers single-input-port/single-output-port):
+//   conv 5x5 3->12, max-pool 2x2 s2, conv 5x5 12->36, max-pool 2x2 s2,
+//   fcn 900->84, fcn 84->10
+// (The paper does not state the hidden FCN width; 84 follows the LeNet-5
+// lineage of these designs and is recorded as a deviation in EXPERIMENTS.md.)
+#pragma once
+
+#include "core/compile.hpp"
+#include "core/network_spec.hpp"
+#include "nn/sequential.hpp"
+
+namespace dfc::core {
+
+struct Preset {
+  std::string name;
+  Shape3 input_shape{};
+  nn::Sequential net;
+  PortPlan plan;
+
+  /// Compiles the preset's current weights into a deployable spec.
+  NetworkSpec compile_spec() const { return compile(net, input_shape, plan, name); }
+};
+
+/// Network + port plan with seeded random weights (train it, or deploy as-is
+/// for performance experiments — timing is weight-independent).
+Preset make_usps_preset(std::uint64_t seed = 1);
+Preset make_cifar_preset(std::uint64_t seed = 2);
+
+/// "AlexNet-mini" (paper future work: "test the proposed approach on bigger
+/// and more popular CNN models like AlexNet"): an AlexNet-shaped 9-layer
+/// network scaled to 64x64 RGB inputs —
+///   conv 7x7 s2 p2 3->16, pool, conv 5x5 p2 16->32, pool,
+///   conv 3x3 p1 32->48, conv 3x3 p1 48->32, pool, fcn 288->64, fcn 64->10.
+/// Its Eq. 4 operator floor exceeds a single xc7vx485t; see
+/// bench_alexnet_scaling for the feasibility study and multi-FPGA mapping.
+Preset make_alexnet_mini_preset(std::uint64_t seed = 3);
+
+/// Convenience: compiled specs with seeded random weights.
+NetworkSpec make_usps_spec(std::uint64_t seed = 1);
+NetworkSpec make_cifar_spec(std::uint64_t seed = 2);
+NetworkSpec make_alexnet_mini_spec(std::uint64_t seed = 3);
+
+}  // namespace dfc::core

@@ -1,0 +1,30 @@
+// NetworkSpec serialization.
+//
+// A compiled design — architecture plus hard-coded weights — can be saved to
+// a single binary artifact and reloaded later, decoupling training (dfc::nn)
+// from deployment (dfc::core::build_accelerator), the way the paper's flow
+// separates offline training from design generation.
+//
+// Format (little-endian, versioned):
+//   magic "DFCNNSPEC", u32 version, name, input shape, OpLatency,
+//   u64 layer count, then per layer a kind tag and its fields; f32 arrays
+//   are length-prefixed. Loading validates the spec before returning.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/network_spec.hpp"
+
+namespace dfc::core {
+
+/// Serializes `spec` to a stream / file. Throws on I/O failure.
+void save_spec(const NetworkSpec& spec, std::ostream& os);
+void save_spec_file(const NetworkSpec& spec, const std::string& path);
+
+/// Deserializes and validates a spec. Throws ConfigError on malformed or
+/// version-incompatible input.
+NetworkSpec load_spec(std::istream& is);
+NetworkSpec load_spec_file(const std::string& path);
+
+}  // namespace dfc::core

@@ -1,0 +1,48 @@
+#include "data/dataset.hpp"
+
+#include <cmath>
+
+namespace dfc::data {
+
+void Dataset::append(const Dataset& other) {
+  DFC_REQUIRE(other.num_classes == num_classes || images.empty(),
+              "dataset class count mismatch");
+  if (images.empty()) num_classes = other.num_classes;
+  images.insert(images.end(), other.images.begin(), other.images.end());
+  labels.insert(labels.end(), other.labels.begin(), other.labels.end());
+}
+
+void Dataset::truncate(std::size_t n) {
+  if (n < images.size()) {
+    images.resize(n);
+    labels.resize(n);
+  }
+}
+
+void standardize(Dataset& train, Dataset& test) {
+  DFC_REQUIRE(!train.images.empty(), "cannot standardize an empty training set");
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  std::int64_t count = 0;
+  for (const auto& img : train.images) {
+    for (float v : img.flat()) {
+      sum += v;
+      sum_sq += static_cast<double>(v) * v;
+    }
+    count += img.size();
+  }
+  const double mean = sum / static_cast<double>(count);
+  const double var = sum_sq / static_cast<double>(count) - mean * mean;
+  const float m = static_cast<float>(mean);
+  const float inv_std = static_cast<float>(1.0 / std::sqrt(std::max(var, 1e-12)));
+
+  auto apply = [&](Dataset& ds) {
+    for (auto& img : ds.images) {
+      for (float& v : img.flat()) v = (v - m) * inv_std;
+    }
+  };
+  apply(train);
+  apply(test);
+}
+
+}  // namespace dfc::data

@@ -1,0 +1,33 @@
+// Labeled image dataset container.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dfc::data {
+
+struct Dataset {
+  std::vector<Tensor> images;
+  std::vector<std::int64_t> labels;
+  int num_classes = 0;
+
+  std::size_t size() const { return images.size(); }
+  Shape3 image_shape() const {
+    DFC_REQUIRE(!images.empty(), "empty dataset has no shape");
+    return images.front().shape();
+  }
+
+  /// Appends another dataset (shapes and class counts must match).
+  void append(const Dataset& other);
+
+  /// Keeps only the first `n` samples.
+  void truncate(std::size_t n);
+};
+
+/// Standardizes every image in place to zero mean / unit variance computed
+/// over `train`, applying the same statistics to `test` (the usual protocol).
+void standardize(Dataset& train, Dataset& test);
+
+}  // namespace dfc::data

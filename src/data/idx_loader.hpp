@@ -1,0 +1,39 @@
+// IDX-format dataset loader.
+//
+// USPS is commonly redistributed in the MNIST IDX container (magic 0x803 for
+// image tensors, 0x801 for label vectors); CIFAR-10 python/binary dumps are
+// frequently converted to it as well. This loader lets users who *do* have
+// the real datasets run every experiment on them instead of the synthetic
+// look-alikes: load_idx_dataset produces the same dfc::data::Dataset the
+// synthetic generators do, so everything downstream is unchanged.
+//
+// Supported element type: unsigned byte (0x08), 1..3 dimensions for images
+// (N, N x rows, or N x rows x cols; a 4-D N x C x H x W variant covers RGB).
+// Pixel bytes are scaled to [0, 1].
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace dfc::data {
+
+/// Reads an IDX image tensor (magic 0x00000803 or 0x00000804).
+/// Returns one tensor per record, scaled to [0, 1].
+std::vector<Tensor> load_idx_images(std::istream& is);
+
+/// Reads an IDX label vector (magic 0x00000801).
+std::vector<std::int64_t> load_idx_labels(std::istream& is);
+
+/// Loads an image file + label file pair into a Dataset.
+/// `num_classes` of 0 means "derive from the labels".
+Dataset load_idx_dataset(const std::string& images_path, const std::string& labels_path,
+                         int num_classes = 0);
+
+/// Writes tensors/labels back out in IDX format (round-trip support; also
+/// used to export synthetic datasets for external tools).
+void save_idx_images(const std::vector<Tensor>& images, std::ostream& os);
+void save_idx_labels(const std::vector<std::int64_t>& labels, std::ostream& os);
+
+}  // namespace dfc::data

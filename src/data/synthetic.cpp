@@ -1,0 +1,200 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace dfc::data {
+
+namespace {
+
+// --- USPS-like digits: seven-segment glyphs ---------------------------------
+//
+// Segment layout (classic seven-segment display):
+//      aaa
+//     f   b
+//      ggg
+//     e   c
+//      ddd
+constexpr std::array<std::uint8_t, 10> kSegmentMask = {
+    // bits: a=1 b=2 c=4 d=8 e=16 f=32 g=64
+    0b0111111,  // 0: abcdef
+    0b0000110,  // 1: bc
+    0b1011011,  // 2: abdeg
+    0b1001111,  // 3: abcdg
+    0b1100110,  // 4: bcfg
+    0b1101101,  // 5: acdfg
+    0b1111101,  // 6: acdefg
+    0b0000111,  // 7: abc
+    0b1111111,  // 8: all
+    0b1101111,  // 9: abcdfg
+};
+
+void draw_hline(Tensor& img, std::int64_t y, std::int64_t x0, std::int64_t x1,
+                float intensity) {
+  const Shape3 s = img.shape();
+  for (std::int64_t t = 0; t < 2; ++t) {  // stroke thickness 2
+    const std::int64_t yy = y + t;
+    if (yy < 0 || yy >= s.h) continue;
+    for (std::int64_t x = std::max<std::int64_t>(x0, 0);
+         x <= std::min<std::int64_t>(x1, s.w - 1); ++x) {
+      img.at(0, yy, x) = std::min(1.0f, img.at(0, yy, x) + intensity);
+    }
+  }
+}
+
+void draw_vline(Tensor& img, std::int64_t x, std::int64_t y0, std::int64_t y1,
+                float intensity) {
+  const Shape3 s = img.shape();
+  for (std::int64_t t = 0; t < 2; ++t) {
+    const std::int64_t xx = x + t;
+    if (xx < 0 || xx >= s.w) continue;
+    for (std::int64_t y = std::max<std::int64_t>(y0, 0);
+         y <= std::min<std::int64_t>(y1, s.h - 1); ++y) {
+      img.at(0, y, xx) = std::min(1.0f, img.at(0, y, xx) + intensity);
+    }
+  }
+}
+
+Tensor render_digit(int digit, std::int64_t shift_y, std::int64_t shift_x, float intensity,
+                    Rng& rng, float noise) {
+  Tensor img(Shape3{1, 16, 16}, 0.0f);
+  // Glyph box roughly 8 wide x 12 tall, centered, then shifted.
+  const std::int64_t left = 4 + shift_x;
+  const std::int64_t right = left + 7;
+  const std::int64_t top = 2 + shift_y;
+  const std::int64_t mid = top + 5;
+  const std::int64_t bottom = top + 10;
+
+  const std::uint8_t mask = kSegmentMask[static_cast<std::size_t>(digit)];
+  if (mask & 0b0000001) draw_hline(img, top, left + 1, right - 1, intensity);      // a
+  if (mask & 0b0000010) draw_vline(img, right, top + 1, mid, intensity);           // b
+  if (mask & 0b0000100) draw_vline(img, right, mid + 1, bottom, intensity);        // c
+  if (mask & 0b0001000) draw_hline(img, bottom, left + 1, right - 1, intensity);   // d
+  if (mask & 0b0010000) draw_vline(img, left, mid + 1, bottom, intensity);         // e
+  if (mask & 0b0100000) draw_vline(img, left, top + 1, mid, intensity);            // f
+  if (mask & 0b1000000) draw_hline(img, mid, left + 1, right - 1, intensity);      // g
+
+  for (float& v : img.flat()) {
+    v = std::clamp(v + rng.normal(0.0f, noise), 0.0f, 1.0f);
+  }
+  return img;
+}
+
+// --- CIFAR-like photos: smooth blob prototypes ------------------------------
+
+struct Blob {
+  float cy, cx, radius, amplitude;
+  int channel;
+};
+
+std::vector<Blob> make_class_prototype(int num_channels, Rng& rng) {
+  std::vector<Blob> blobs;
+  const int count = static_cast<int>(rng.next_int(4, 7));
+  for (int i = 0; i < count; ++i) {
+    blobs.push_back(Blob{
+        rng.uniform(4.0f, 28.0f),
+        rng.uniform(4.0f, 28.0f),
+        rng.uniform(3.0f, 9.0f),
+        rng.uniform(0.4f, 1.0f),
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(num_channels))),
+    });
+  }
+  return blobs;
+}
+
+Tensor render_blobs(const std::vector<Blob>& blobs, const Shape3& shape, float shift_y,
+                    float shift_x, float amp_jitter, Rng& rng, float noise) {
+  Tensor img(shape, 0.1f);
+  for (const Blob& b : blobs) {
+    const float cy = b.cy + shift_y;
+    const float cx = b.cx + shift_x;
+    const float inv_r2 = 1.0f / (2.0f * b.radius * b.radius);
+    const float amp = b.amplitude * amp_jitter;
+    for (std::int64_t y = 0; y < shape.h; ++y) {
+      for (std::int64_t x = 0; x < shape.w; ++x) {
+        const float dy = static_cast<float>(y) - cy;
+        const float dx = static_cast<float>(x) - cx;
+        img.at(b.channel, y, x) += amp * std::exp(-(dy * dy + dx * dx) * inv_r2);
+      }
+    }
+  }
+  for (float& v : img.flat()) {
+    v = std::clamp(v + rng.normal(0.0f, noise), 0.0f, 1.0f);
+  }
+  return img;
+}
+
+}  // namespace
+
+Dataset make_usps_like(std::size_t count, const SyntheticOptions& opts) {
+  Rng rng(opts.seed);
+  Dataset ds;
+  ds.num_classes = 10;
+  ds.images.reserve(count);
+  ds.labels.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const int digit = static_cast<int>(rng.next_below(10));
+    const auto sy = rng.next_int(-opts.max_shift, opts.max_shift);
+    const auto sx = rng.next_int(-opts.max_shift, opts.max_shift);
+    const float intensity = rng.uniform(0.7f, 1.0f);
+    ds.images.push_back(render_digit(digit, sy, sx, intensity, rng, opts.noise_stddev));
+    ds.labels.push_back(digit);
+  }
+  return ds;
+}
+
+Dataset make_cifar_like(std::size_t count, const SyntheticOptions& opts) {
+  const std::uint64_t proto_seed = opts.proto_seed != 0 ? opts.proto_seed : opts.seed;
+  Rng proto_rng(proto_seed ^ 0xC1FA0ULL);
+  std::vector<std::vector<Blob>> prototypes;
+  prototypes.reserve(10);
+  for (int c = 0; c < 10; ++c) prototypes.push_back(make_class_prototype(3, proto_rng));
+
+  Rng rng(opts.seed);
+  Dataset ds;
+  ds.num_classes = 10;
+  ds.images.reserve(count);
+  ds.labels.reserve(count);
+  const Shape3 shape{3, 32, 32};
+  for (std::size_t i = 0; i < count; ++i) {
+    const int cls = static_cast<int>(rng.next_below(10));
+    const float sy = rng.uniform(-static_cast<float>(opts.max_shift),
+                                 static_cast<float>(opts.max_shift));
+    const float sx = rng.uniform(-static_cast<float>(opts.max_shift),
+                                 static_cast<float>(opts.max_shift));
+    const float amp = rng.uniform(0.75f, 1.25f);
+    ds.images.push_back(render_blobs(prototypes[static_cast<std::size_t>(cls)], shape, sy, sx,
+                                     amp, rng, opts.noise_stddev));
+    ds.labels.push_back(cls);
+  }
+  return ds;
+}
+
+TrainTest make_usps_like_split(std::size_t train_count, std::size_t test_count,
+                               std::uint64_t seed) {
+  SyntheticOptions train_opts;
+  train_opts.seed = seed;
+  SyntheticOptions test_opts;
+  test_opts.seed = seed + 0x7e57ULL;
+  TrainTest tt{make_usps_like(train_count, train_opts), make_usps_like(test_count, test_opts)};
+  standardize(tt.train, tt.test);
+  return tt;
+}
+
+TrainTest make_cifar_like_split(std::size_t train_count, std::size_t test_count,
+                                std::uint64_t seed) {
+  SyntheticOptions train_opts;
+  train_opts.seed = seed;
+  train_opts.proto_seed = seed;
+  SyntheticOptions test_opts = train_opts;
+  test_opts.seed = seed + 0x7e57ULL;  // disjoint samples, shared prototypes
+  TrainTest tt{make_cifar_like(train_count, train_opts),
+               make_cifar_like(test_count, test_opts)};
+  standardize(tt.train, tt.test);
+  return tt;
+}
+
+}  // namespace dfc::data

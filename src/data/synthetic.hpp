@@ -1,0 +1,50 @@
+// Synthetic stand-ins for the USPS and CIFAR-10 datasets.
+//
+// The paper trains its two test-case networks on USPS (16x16 grayscale
+// handwritten digits) and CIFAR-10 (32x32 RGB photos); neither dataset is
+// redistributable here, so we synthesize look-alikes that exercise the exact
+// same code paths (identical shapes, 10 classes, train/test protocol) and
+// are learnable, so the deployed accelerator weights are genuinely trained:
+//
+//  * USPS-like: seven-segment-style digit glyphs rendered at 16x16 with
+//    random translation, per-pixel noise and stroke-intensity jitter;
+//  * CIFAR-like: 32x32 RGB class prototypes built from smooth random blobs,
+//    sampled with random shift, amplitude jitter and noise.
+//
+// Nothing in the paper's Tables I/II or Fig. 6 depends on the real data —
+// performance is data-independent — so the substitution only affects the
+// (unreported-in-the-paper) accuracy numbers.
+#pragma once
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+
+namespace dfc::data {
+
+struct SyntheticOptions {
+  std::uint64_t seed = 42;
+  float noise_stddev = 0.15f;  ///< per-pixel additive Gaussian noise
+  int max_shift = 2;           ///< uniform random translation in pixels
+  /// Seed for the CIFAR-like class prototypes; 0 means "derive from seed".
+  /// Train and test splits must share it so they sample the same classes.
+  std::uint64_t proto_seed = 0;
+};
+
+/// 16x16 grayscale, 10 digit classes.
+Dataset make_usps_like(std::size_t count, const SyntheticOptions& opts = {});
+
+/// 32x32 RGB, 10 object classes.
+Dataset make_cifar_like(std::size_t count, const SyntheticOptions& opts = {});
+
+/// Convenience: train+test split with disjoint sampling streams.
+struct TrainTest {
+  Dataset train;
+  Dataset test;
+};
+TrainTest make_usps_like_split(std::size_t train_count, std::size_t test_count,
+                               std::uint64_t seed = 42);
+TrainTest make_cifar_like_split(std::size_t train_count, std::size_t test_count,
+                                std::uint64_t seed = 42);
+
+}  // namespace dfc::data

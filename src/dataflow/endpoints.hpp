@@ -1,0 +1,162 @@
+// Generic source/sink processes for driving and observing dataflow graphs.
+//
+// These are the simulation-side equivalents of a testbench: VectorSource
+// plays a pre-built token sequence into a FIFO at one token per cycle
+// (respecting backpressure) and VectorSink drains a FIFO recording both the
+// tokens and their arrival cycles.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dataflow/fifo.hpp"
+#include "dataflow/process.hpp"
+
+namespace dfc::df {
+
+template <typename T>
+class VectorSource final : public Process {
+ public:
+  VectorSource(std::string name, Fifo<T>& out, std::vector<T> tokens)
+      : Process(std::move(name)), out_(out), tokens_(std::move(tokens)) {}
+
+  void on_clock() override {
+    if (next_ >= tokens_.size()) return;
+    if (!out_.can_push()) {
+      out_.note_full_stall();
+      return;
+    }
+    out_.push(tokens_[next_++]);
+  }
+
+  void reset() override { next_ = 0; }
+  bool done() const override { return next_ >= tokens_.size(); }
+
+  /// Appends more tokens to play (e.g. the next image of a batch).
+  void feed(const std::vector<T>& more) {
+    tokens_.insert(tokens_.end(), more.begin(), more.end());
+  }
+
+  std::size_t remaining() const { return tokens_.size() - next_; }
+
+ private:
+  Fifo<T>& out_;
+  std::vector<T> tokens_;
+  std::size_t next_ = 0;
+};
+
+template <typename T>
+class VectorSink final : public Process {
+ public:
+  VectorSink(std::string name, Fifo<T>& in) : Process(std::move(name)), in_(in) {}
+
+  void on_clock() override {
+    if (!in_.can_pop()) return;
+    arrival_cycles_.push_back(now());
+    tokens_.push_back(in_.pop());
+  }
+
+  const std::vector<T>& tokens() const { return tokens_; }
+  const std::vector<std::uint64_t>& arrival_cycles() const { return arrival_cycles_; }
+  std::size_t count() const { return tokens_.size(); }
+
+  void reset() override {
+    tokens_.clear();
+    arrival_cycles_.clear();
+  }
+
+ private:
+  Fifo<T>& in_;
+  std::vector<T> tokens_;
+  std::vector<std::uint64_t> arrival_cycles_;
+};
+
+/// Chaos-testing adapter: forwards tokens unchanged but randomly stalls,
+/// perturbing the timing of everything downstream. Correct dataflow designs
+/// must produce identical results under any such jitter (latency-insensitive
+/// design); tests insert JitterProcess between stages to prove it.
+template <typename T>
+class JitterProcess final : public Process {
+ public:
+  JitterProcess(std::string name, Fifo<T>& in, Fifo<T>& out, std::uint64_t seed,
+                double stall_probability = 0.3)
+      : Process(std::move(name)),
+        in_(in),
+        out_(out),
+        seed_(seed),
+        state_(seed),
+        stall_probability_(stall_probability) {}
+
+  void on_clock() override {
+    if (!in_.can_pop() || !out_.can_push()) return;
+    // xorshift64 draw; cheap and deterministic.
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    const double u = static_cast<double>(state_ >> 11) * 0x1.0p-53;
+    if (u < stall_probability_) return;
+    out_.push(in_.pop());
+  }
+
+  void reset() override { state_ = seed_; }
+
+ private:
+  Fifo<T>& in_;
+  Fifo<T>& out_;
+  std::uint64_t seed_;
+  std::uint64_t state_;
+  double stall_probability_;
+};
+
+/// Samples a FIFO's occupancy every `period` cycles — the observability hook
+/// for pipeline-fill studies (how the Fig. 6 convergence builds up).
+class OccupancyProbe final : public Process {
+ public:
+  OccupancyProbe(std::string name, const FifoBase& fifo, std::uint64_t period = 1)
+      : Process(std::move(name)), fifo_(fifo), period_(period) {}
+
+  void on_clock() override {
+    if (now() % period_ != 0) return;
+    samples_.push_back(fifo_.size());
+  }
+
+  void reset() override { samples_.clear(); }
+
+  const std::vector<std::size_t>& samples() const { return samples_; }
+  std::size_t peak() const {
+    std::size_t best = 0;
+    for (std::size_t s : samples_) best = std::max(best, s);
+    return best;
+  }
+
+ private:
+  const FifoBase& fifo_;
+  std::uint64_t period_;
+  std::vector<std::size_t> samples_;
+};
+
+/// One-input/one-output combinational stage with a fixed per-token latency
+/// emulated by an internal shift register; useful for building synthetic
+/// pipelines in tests.
+template <typename TIn, typename TOut, typename Fn>
+class MapProcess final : public Process {
+ public:
+  MapProcess(std::string name, Fifo<TIn>& in, Fifo<TOut>& out, Fn fn)
+      : Process(std::move(name)), in_(in), out_(out), fn_(std::move(fn)) {}
+
+  void on_clock() override {
+    if (!in_.can_pop() || !out_.can_push()) {
+      if (in_.can_pop() && !out_.can_push()) out_.note_full_stall();
+      return;
+    }
+    out_.push(fn_(in_.pop()));
+  }
+
+ private:
+  Fifo<TIn>& in_;
+  Fifo<TOut>& out_;
+  Fn fn_;
+};
+
+}  // namespace dfc::df

@@ -1,0 +1,140 @@
+// Simulated hardware FIFO channels.
+//
+// The simulation advances in two phases per clock cycle:
+//   1. every Process runs on_clock(): it observes FIFO contents as they were
+//      at the start of the cycle, may pop() at most one element and push()
+//      at most one element per FIFO end;
+//   2. the SimContext commits all FIFOs: pushes become visible, per-cycle
+//      bookkeeping resets.
+//
+// This makes the simulation deterministic and independent of process
+// evaluation order, matching registered (flip-flop based) handshakes in the
+// RTL the paper's HLS flow generates. A consequence faithful to hardware: a
+// capacity-1 FIFO (a single register with no skid buffer) sustains at most
+// one transfer every two cycles; inter-stage channels therefore default to
+// capacity >= 2 to stream at full rate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/ring_buffer.hpp"
+
+namespace dfc::df {
+
+/// Occupancy and traffic statistics of one FIFO, for reports and tests.
+struct FifoStats {
+  std::uint64_t pushes = 0;
+  std::uint64_t pops = 0;
+  std::size_t max_occupancy = 0;
+  std::uint64_t full_stall_cycles = 0;  ///< cycles where a push was refused
+};
+
+/// Type-erased base so the scheduler can commit FIFOs of any element type.
+class FifoBase {
+ public:
+  FifoBase(std::string name, std::size_t capacity) : name_(std::move(name)), capacity_(capacity) {
+    DFC_REQUIRE(capacity_ > 0, "FIFO capacity must be positive: " + name_);
+  }
+  virtual ~FifoBase() = default;
+
+  FifoBase(const FifoBase&) = delete;
+  FifoBase& operator=(const FifoBase&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::size_t capacity() const { return capacity_; }
+  const FifoStats& stats() const { return stats_; }
+
+  /// Visible (start-of-cycle) occupancy.
+  virtual std::size_t size() const = 0;
+
+  /// Phase-2 hook: makes this cycle's pushes visible, resets per-cycle flags.
+  /// Returns true if any transfer (push or pop) happened this cycle.
+  virtual bool commit() = 0;
+
+  /// Clears contents and per-cycle state (not statistics).
+  virtual void reset() = 0;
+
+ protected:
+  std::string name_;
+  std::size_t capacity_;
+  FifoStats stats_;
+};
+
+template <typename T>
+class Fifo final : public FifoBase {
+ public:
+  Fifo(std::string name, std::size_t capacity)
+      : FifoBase(std::move(name), capacity), items_(capacity) {}
+
+  /// True if a pop() is allowed this cycle (an element was present at the
+  /// start of the cycle and none has been popped yet this cycle).
+  bool can_pop() const { return !popped_this_cycle_ && !items_.empty(); }
+
+  /// True if a push() is allowed this cycle. Occupancy is evaluated as of
+  /// the start of the cycle (a pop in the same cycle does not free the slot
+  /// until commit), so the answer does not depend on process ordering.
+  bool can_push() const {
+    const std::size_t start_occupancy = items_.size() + (popped_this_cycle_ ? 1 : 0);
+    return !pushed_this_cycle_ && start_occupancy + pending_count_ < capacity_;
+  }
+
+  /// Front element without consuming it (peek). Requires can_pop().
+  const T& front() const {
+    DFC_ASSERT(can_pop(), "Fifo::front without can_pop: " + name_);
+    return items_.front();
+  }
+
+  /// Consumes and returns the front element. Requires can_pop().
+  T pop() {
+    DFC_ASSERT(can_pop(), "Fifo::pop without can_pop: " + name_);
+    popped_this_cycle_ = true;
+    ++stats_.pops;
+    return items_.pop();
+  }
+
+  /// Enqueues `value`; it becomes visible to consumers next cycle.
+  /// Requires can_push().
+  void push(T value) {
+    DFC_ASSERT(can_push(), "Fifo::push without can_push: " + name_);
+    pushed_this_cycle_ = true;
+    pending_ = std::move(value);
+    pending_count_ = 1;
+    ++stats_.pushes;
+  }
+
+  /// Records that a producer wanted to push but could not (for stall stats).
+  void note_full_stall() { ++stats_.full_stall_cycles; }
+
+  std::size_t size() const override { return items_.size() + pending_count_; }
+
+  bool commit() override {
+    const bool active = pushed_this_cycle_ || popped_this_cycle_;
+    if (pending_count_ > 0) {
+      items_.push(std::move(pending_));
+      pending_count_ = 0;
+    }
+    stats_.max_occupancy = std::max(stats_.max_occupancy, items_.size());
+    pushed_this_cycle_ = false;
+    popped_this_cycle_ = false;
+    return active;
+  }
+
+  void reset() override {
+    items_.clear();
+    pending_count_ = 0;
+    pushed_this_cycle_ = false;
+    popped_this_cycle_ = false;
+  }
+
+ private:
+  RingBuffer<T> items_;
+  T pending_{};
+  std::size_t pending_count_ = 0;
+  bool pushed_this_cycle_ = false;
+  bool popped_this_cycle_ = false;
+};
+
+}  // namespace dfc::df

@@ -1,0 +1,45 @@
+// Simulated hardware process (one always-active module on the FPGA fabric).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dfc::df {
+
+class SimContext;
+
+/// A clocked module. on_clock() runs once per cycle in phase 1 and may
+/// interact with FIFOs under the registered-handshake rules (see fifo.hpp).
+class Process {
+ public:
+  explicit Process(std::string name) : name_(std::move(name)) {}
+  virtual ~Process() = default;
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  /// Executed every clock cycle.
+  virtual void on_clock() = 0;
+
+  /// Returns the module to its power-on state (FIFO contents are cleared by
+  /// the context separately).
+  virtual void reset() {}
+
+  /// True once the module has produced/consumed everything it ever will for
+  /// the current workload; used for end-of-simulation detection in tests.
+  virtual bool done() const { return true; }
+
+  const std::string& name() const { return name_; }
+
+  /// Current cycle, valid once the process is registered with a context.
+  std::uint64_t now() const;
+
+ protected:
+  friend class SimContext;
+  SimContext* ctx_ = nullptr;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace dfc::df

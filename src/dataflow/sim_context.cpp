@@ -1,0 +1,57 @@
+#include "dataflow/sim_context.hpp"
+
+#include <sstream>
+
+namespace dfc::df {
+
+std::uint64_t Process::now() const {
+  DFC_ASSERT(ctx_ != nullptr, "Process::now before registration: " + name());
+  return ctx_->cycle();
+}
+
+void SimContext::step() {
+  for (auto& p : processes_) p->on_clock();
+  bool any_activity = false;
+  for (auto& f : fifos_) any_activity |= f->commit();
+  idle_cycles_ = any_activity ? 0 : idle_cycles_ + 1;
+  ++cycle_;
+}
+
+std::uint64_t SimContext::run_until(const std::function<bool()>& finished,
+                                    std::uint64_t max_cycles) {
+  const std::uint64_t start = cycle_;
+  idle_cycles_ = 0;
+  while (!finished()) {
+    if (cycle_ - start >= max_cycles) {
+      throw SimError("run_until exceeded " + std::to_string(max_cycles) +
+                     " cycles\n" + fifo_report());
+    }
+    step();
+    if (idle_cycles_ > idle_limit_) {
+      throw SimError("deadlock: no FIFO activity for " + std::to_string(idle_cycles_) +
+                     " cycles at cycle " + std::to_string(cycle_) + "\n" + fifo_report());
+    }
+  }
+  return cycle_ - start;
+}
+
+void SimContext::reset() {
+  for (auto& f : fifos_) f->reset();
+  for (auto& p : processes_) p->reset();
+  cycle_ = 0;
+  idle_cycles_ = 0;
+}
+
+std::string SimContext::fifo_report() const {
+  std::ostringstream os;
+  os << "FIFO occupancy (" << fifos_.size() << " channels):\n";
+  for (const auto& f : fifos_) {
+    os << "  " << f->name() << ": " << f->size() << "/" << f->capacity()
+       << " (pushes=" << f->stats().pushes << " pops=" << f->stats().pops
+       << " max=" << f->stats().max_occupancy
+       << " full_stalls=" << f->stats().full_stall_cycles << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace dfc::df

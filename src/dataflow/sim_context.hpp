@@ -1,0 +1,85 @@
+// Two-phase synchronous simulation scheduler.
+//
+// SimContext owns all processes and FIFOs of one accelerator design and
+// advances them cycle by cycle:
+//
+//   phase 1: every process runs on_clock() (order-independent: FIFO pushes
+//            only become visible at commit);
+//   phase 2: every FIFO commits.
+//
+// A watchdog detects deadlocks/livelocks: if no FIFO transfers at all for
+// `idle_limit` consecutive cycles while a run_until predicate is still
+// unsatisfied, the context throws SimError with an occupancy dump — this
+// catches mis-sized FIFOs and protocol bugs the same way a hung HLS cosim
+// would.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dataflow/fifo.hpp"
+#include "dataflow/process.hpp"
+
+namespace dfc::df {
+
+class SimContext {
+ public:
+  SimContext() = default;
+
+  /// Constructs a process of type P in place and registers it.
+  template <typename P, typename... Args>
+  P& add_process(Args&&... args) {
+    auto owned = std::make_unique<P>(std::forward<Args>(args)...);
+    P& ref = *owned;
+    ref.ctx_ = this;
+    processes_.push_back(std::move(owned));
+    return ref;
+  }
+
+  /// Constructs a FIFO with element type T and registers it for commit.
+  template <typename T>
+  Fifo<T>& add_fifo(std::string name, std::size_t capacity) {
+    auto owned = std::make_unique<Fifo<T>>(std::move(name), capacity);
+    Fifo<T>& ref = *owned;
+    fifos_.push_back(std::move(owned));
+    return ref;
+  }
+
+  /// Advances exactly one clock cycle.
+  void step();
+
+  /// Runs until `finished()` returns true; returns cycles elapsed during this
+  /// call. Throws SimError on deadlock or when `max_cycles` is exceeded.
+  std::uint64_t run_until(const std::function<bool()>& finished,
+                          std::uint64_t max_cycles = kDefaultMaxCycles);
+
+  /// Current simulation time in cycles since construction/reset.
+  std::uint64_t cycle() const { return cycle_; }
+
+  /// Clears all FIFOs, resets all processes, and rewinds the clock.
+  void reset();
+
+  std::size_t process_count() const { return processes_.size(); }
+  std::size_t fifo_count() const { return fifos_.size(); }
+
+  /// Multi-line occupancy report of every FIFO (for diagnostics).
+  std::string fifo_report() const;
+
+  /// Cycles with zero FIFO activity tolerated before declaring deadlock.
+  void set_idle_limit(std::uint64_t cycles) { idle_limit_ = cycles; }
+
+  static constexpr std::uint64_t kDefaultMaxCycles = 2'000'000'000ULL;
+
+ private:
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<std::unique_ptr<FifoBase>> fifos_;
+  std::uint64_t cycle_ = 0;
+  std::uint64_t idle_cycles_ = 0;
+  std::uint64_t idle_limit_ = 100'000;
+};
+
+}  // namespace dfc::df

@@ -1,0 +1,52 @@
+#include "dse/throughput_model.hpp"
+
+#include <algorithm>
+
+namespace dfc::dse {
+
+using dfc::core::ConvLayerSpec;
+using dfc::core::FcnLayerSpec;
+using dfc::core::NetworkSpec;
+using dfc::core::PoolLayerSpec;
+
+TimingEstimate estimate_timing(const NetworkSpec& spec) {
+  spec.validate();
+  TimingEstimate est;
+
+  est.stages.push_back({"dma-in", spec.input_shape.volume()});
+
+  for (std::size_t i = 0; i < spec.layers.size(); ++i) {
+    const auto& layer = spec.layers[i];
+    StageTiming st;
+    st.name = "L" + std::to_string(i);
+    if (const auto* conv = std::get_if<ConvLayerSpec>(&layer)) {
+      const std::int64_t ingest = conv->in_shape.plane() * conv->in_shape.c / conv->in_ports;
+      const std::int64_t compute = conv->out_shape().plane() * conv->initiation_interval();
+      st.cycles_per_image = std::max(ingest, compute);
+      st.name += ".conv";
+    } else if (const auto* pool = std::get_if<PoolLayerSpec>(&layer)) {
+      st.cycles_per_image = pool->in_shape.plane() * pool->in_shape.c / pool->ports;
+      st.name += ".pool";
+    } else {
+      const auto& fcn = std::get<FcnLayerSpec>(layer);
+      // Input phase dominates; emission of the previous image overlaps it
+      // unless the core is tiny.
+      st.cycles_per_image = std::max(fcn.in_count, fcn.out_count);
+      st.name += ".fcn";
+    }
+    est.stages.push_back(st);
+  }
+
+  est.stages.push_back({"dma-out", spec.output_shape().volume()});
+
+  est.interval_cycles = 0;
+  for (std::size_t i = 0; i < est.stages.size(); ++i) {
+    if (est.stages[i].cycles_per_image > est.interval_cycles) {
+      est.interval_cycles = est.stages[i].cycles_per_image;
+      est.bottleneck_stage = static_cast<std::int64_t>(i);
+    }
+  }
+  return est;
+}
+
+}  // namespace dfc::dse

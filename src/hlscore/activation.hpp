@@ -1,0 +1,31 @@
+// Nonlinear activation applied by the cores on each output value
+// (paper Sec. II-A: "the convolutional layer may apply a nonlinear
+// function, e.g. tanh() or max(0, x)").
+#pragma once
+
+#include <cmath>
+#include <string>
+
+namespace dfc::hls {
+
+enum class Activation { kNone, kRelu, kTanh };
+
+inline float apply_activation(Activation act, float x) {
+  switch (act) {
+    case Activation::kNone: return x;
+    case Activation::kRelu: return x > 0.0f ? x : 0.0f;
+    case Activation::kTanh: return std::tanh(x);
+  }
+  return x;
+}
+
+inline const char* activation_name(Activation act) {
+  switch (act) {
+    case Activation::kNone: return "none";
+    case Activation::kRelu: return "relu";
+    case Activation::kTanh: return "tanh";
+  }
+  return "?";
+}
+
+}  // namespace dfc::hls

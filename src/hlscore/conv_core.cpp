@@ -1,0 +1,162 @@
+#include "hlscore/conv_core.hpp"
+
+#include "common/math_util.hpp"
+#include "hlscore/tree_reduce.hpp"
+
+namespace dfc::hls {
+
+using dfc::axis::Flit;
+using dfc::sst::Window;
+
+void ConvCoreConfig::validate() const {
+  latency.validate();
+  DFC_REQUIRE(in_ports >= 1 && out_ports >= 1, "port counts must be >= 1");
+  DFC_REQUIRE(in_fm >= 1 && out_fm >= 1, "feature-map counts must be >= 1");
+  DFC_REQUIRE(in_fm % in_ports == 0,
+              "IN_FM must be a multiple of IN_PORTS (got " + std::to_string(in_fm) + "/" +
+                  std::to_string(in_ports) + ")");
+  DFC_REQUIRE(out_fm % out_ports == 0,
+              "OUT_FM must be a multiple of OUT_PORTS (got " + std::to_string(out_fm) + "/" +
+                  std::to_string(out_ports) + ")");
+  DFC_REQUIRE(kh >= 1 && kw >= 1 && kh * kw <= sst::WindowGeometry::kMaxTaps,
+              "window size unsupported");
+  DFC_REQUIRE(out_positions >= 1, "out_positions must be set");
+  DFC_REQUIRE(static_cast<std::int64_t>(weights.size()) == out_fm * in_fm * taps(),
+              "weights size mismatch");
+  DFC_REQUIRE(static_cast<std::int64_t>(biases.size()) == out_fm, "biases size mismatch");
+}
+
+std::int64_t ConvCoreConfig::pipeline_latency() const {
+  const auto products = static_cast<std::size_t>(in_ports) * static_cast<std::size_t>(taps());
+  return latency.fmul + static_cast<std::int64_t>(tree_depth(products)) * latency.fadd +
+         latency.fadd;  // final accumulate into the partial-sum register
+}
+
+ConvCore::ConvCore(std::string name, ConvCoreConfig config,
+                   std::vector<dfc::df::Fifo<Window>*> window_in,
+                   std::vector<dfc::df::Fifo<Flit>*> stream_out)
+    : Process(std::move(name)),
+      cfg_(std::move(config)),
+      win_in_(std::move(window_in)),
+      out_(std::move(stream_out)),
+      acc_(static_cast<std::size_t>(cfg_.out_fm), 0.0f),
+      products_(static_cast<std::size_t>(cfg_.in_ports) * static_cast<std::size_t>(cfg_.taps())),
+      windows_(static_cast<std::size_t>(cfg_.in_ports)) {
+  cfg_.validate();
+  // Enough pipeline slots to hide the operator latency at the steady-state
+  // initiation interval (the depth of the synthesized pipeline).
+  in_flight_limit_ = static_cast<std::size_t>(
+      dfc::ceil_div(cfg_.pipeline_latency(), cfg_.initiation_interval()) + 2);
+  DFC_REQUIRE(static_cast<int>(win_in_.size()) == cfg_.in_ports,
+              "ConvCore needs one window channel per input port");
+  DFC_REQUIRE(static_cast<int>(out_.size()) == cfg_.out_ports,
+              "ConvCore needs one stream per output port");
+}
+
+void ConvCore::on_clock() {
+  // Emission and gather share the cycle; the pipeline queue decouples them so
+  // the position interval is max(gather_beats, emit_beats) at steady state.
+  worked_this_cycle_ = false;
+  try_emit();
+  try_gather();
+  if (worked_this_cycle_) ++work_cycles_;
+}
+
+void ConvCore::try_emit() {
+  if (in_flight_.empty() || now() < in_flight_.front().ready_cycle) return;
+  // One beat pushes OUT_PORTS values in lockstep; all ports must be ready.
+  for (auto* port : out_) {
+    if (!port->can_push()) {
+      port->note_full_stall();
+      return;
+    }
+  }
+  const InFlight& head = in_flight_.front();
+  const bool last_beat = (emit_beat_ == cfg_.emit_beats() - 1);
+  for (int p = 0; p < cfg_.out_ports; ++p) {
+    const std::int64_t k = emit_beat_ * cfg_.out_ports + p;
+    Flit f;
+    f.data = apply_activation(cfg_.activation, head.values[static_cast<std::size_t>(k)]);
+    f.channel = static_cast<std::int32_t>(cfg_.out_channel_base + k);
+    f.last = last_beat && head.last_of_image;
+    out_[static_cast<std::size_t>(p)]->push(f);
+  }
+  if (last_beat) {
+    in_flight_.pop_front();
+    emit_beat_ = 0;
+  } else {
+    ++emit_beat_;
+  }
+  worked_this_cycle_ = true;
+}
+
+void ConvCore::try_gather() {
+  // The final beat of a position needs a free pipeline slot to retire into.
+  const bool completing = (group_ == cfg_.gather_beats() - 1);
+  if (completing && in_flight_.size() >= in_flight_limit_) {
+    ++gather_stalls_;
+    return;
+  }
+  for (auto* port : win_in_) {
+    if (!port->can_pop()) return;
+  }
+
+  if (group_ == 0) {
+    for (std::int64_t k = 0; k < cfg_.out_fm; ++k) {
+      acc_[static_cast<std::size_t>(k)] = cfg_.biases[static_cast<std::size_t>(k)];
+    }
+  }
+
+  // Pop one window per input port; port p at beat g carries input channel
+  // g*IN_PORTS + p under the round-robin interleave.
+  bool last_of_image = false;
+  for (int p = 0; p < cfg_.in_ports; ++p) {
+    Window& w = windows_[static_cast<std::size_t>(p)];
+    w = win_in_[static_cast<std::size_t>(p)]->pop();
+    DFC_ASSERT(w.count == cfg_.taps(), "window tap count mismatch in " + name());
+    DFC_ASSERT(w.slot == group_, "window slot out of order in " + name());
+    last_of_image |= w.last_of_image;
+  }
+
+  worked_this_cycle_ = true;
+  const std::int64_t taps = cfg_.taps();
+  for (std::int64_t k = 0; k < cfg_.out_fm; ++k) {
+    // Multiplier bank: IN_PORTS * taps products, reduced by the tree adder,
+    // accumulated into the partial-sum register (Algorithm 1).
+    std::size_t n = 0;
+    for (int p = 0; p < cfg_.in_ports; ++p) {
+      const std::int64_t c = group_ * cfg_.in_ports + p;
+      const Window& w = windows_[static_cast<std::size_t>(p)];
+      for (std::int64_t t = 0; t < taps; ++t) {
+        products_[n++] = cfg_.weight(k, c, t) * w.taps[static_cast<std::size_t>(t)];
+      }
+    }
+    acc_[static_cast<std::size_t>(k)] += tree_reduce_inplace(std::span<float>(products_.data(), n));
+  }
+
+  if (!completing) {
+    ++group_;
+    return;
+  }
+  group_ = 0;
+  in_flight_.push_back(InFlight{
+      acc_, last_of_image, now() + static_cast<std::uint64_t>(cfg_.pipeline_latency())});
+  ++positions_completed_;
+  if (++position_in_image_ == cfg_.out_positions) {
+    DFC_ASSERT(last_of_image, "image boundary mismatch in " + name());
+    position_in_image_ = 0;
+  }
+}
+
+void ConvCore::reset() {
+  group_ = 0;
+  position_in_image_ = 0;
+  in_flight_.clear();
+  emit_beat_ = 0;
+  positions_completed_ = 0;
+  gather_stalls_ = 0;
+  work_cycles_ = 0;
+  worked_this_cycle_ = false;
+}
+
+}  // namespace dfc::hls

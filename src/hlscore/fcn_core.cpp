@@ -1,0 +1,125 @@
+#include "hlscore/fcn_core.hpp"
+
+#include "hlscore/tree_reduce.hpp"
+
+namespace dfc::hls {
+
+using dfc::axis::Flit;
+
+void FcnCoreConfig::validate() const {
+  latency.validate();
+  DFC_REQUIRE(in_count >= 1 && out_count >= 1, "FCN sizes must be >= 1");
+  DFC_REQUIRE(num_accumulators >= 1, "need at least one accumulator lane");
+  DFC_REQUIRE(static_cast<std::int64_t>(weights.size()) == in_count * out_count,
+              "FCN weights size mismatch");
+  DFC_REQUIRE(static_cast<std::int64_t>(biases.size()) == out_count,
+              "FCN biases size mismatch");
+}
+
+std::int64_t FcnCoreConfig::drain_latency() const {
+  return latency.fmul + latency.fadd +
+         static_cast<std::int64_t>(tree_depth(static_cast<std::size_t>(num_accumulators))) *
+             latency.fadd;
+}
+
+FcnCore::FcnCore(std::string name, FcnCoreConfig config, dfc::df::Fifo<Flit>& in,
+                 dfc::df::Fifo<Flit>& out)
+    : Process(std::move(name)),
+      cfg_(std::move(config)),
+      in_(in),
+      out_(out),
+      acc_(static_cast<std::size_t>(cfg_.out_count * cfg_.num_accumulators), 0.0f),
+      lane_busy_until_(static_cast<std::size_t>(cfg_.num_accumulators), 0) {
+  cfg_.validate();
+  const std::int64_t interval = std::max(cfg_.in_count, cfg_.out_count);
+  in_flight_limit_ =
+      static_cast<std::size_t>((cfg_.drain_latency() + interval - 1) / interval + 2);
+}
+
+void FcnCore::on_clock() {
+  worked_this_cycle_ = false;
+  try_emit();
+  try_accumulate();
+  if (worked_this_cycle_) ++work_cycles_;
+}
+
+void FcnCore::try_emit() {
+  if (in_flight_.empty() || now() < in_flight_.front().ready_cycle) return;
+  if (!out_.can_push()) {
+    out_.note_full_stall();
+    return;
+  }
+  Flit f;
+  f.data = apply_activation(cfg_.activation,
+                            in_flight_.front().values[static_cast<std::size_t>(emit_index_)]);
+  f.channel = static_cast<std::int32_t>(emit_index_);
+  f.last = (emit_index_ == cfg_.out_count - 1);
+  out_.push(f);
+  if (++emit_index_ == cfg_.out_count) {
+    emit_index_ = 0;
+    in_flight_.pop_front();
+  }
+  worked_this_cycle_ = true;
+}
+
+void FcnCore::try_accumulate() {
+  if (!in_.can_pop()) return;
+
+  // The image retires into a drain-pipeline slot on its last input.
+  const bool completing = (input_index_ == cfg_.in_count - 1);
+  if (completing && in_flight_.size() >= in_flight_limit_) return;
+
+  // The accumulator lane for this input must have finished its previous add.
+  const auto lane = static_cast<std::size_t>(input_index_ % cfg_.num_accumulators);
+  if (now() < lane_busy_until_[lane]) {
+    ++lane_stalls_;
+    return;
+  }
+
+  if (input_index_ == 0) {
+    // Lane 0 starts from the bias; the other lanes start from zero.
+    for (std::int64_t j = 0; j < cfg_.out_count; ++j) {
+      for (int l = 0; l < cfg_.num_accumulators; ++l) {
+        acc_[static_cast<std::size_t>(j * cfg_.num_accumulators + l)] =
+            (l == 0) ? cfg_.biases[static_cast<std::size_t>(j)] : 0.0f;
+      }
+    }
+  }
+
+  const Flit f = in_.pop();
+  worked_this_cycle_ = true;
+  for (std::int64_t j = 0; j < cfg_.out_count; ++j) {
+    acc_[static_cast<std::size_t>(j * cfg_.num_accumulators) + lane] +=
+        cfg_.weight(j, input_index_) * f.data;
+  }
+  lane_busy_until_[lane] = now() + static_cast<std::uint64_t>(cfg_.latency.fadd);
+
+  if (!completing) {
+    ++input_index_;
+    return;
+  }
+  input_index_ = 0;
+  InFlight slot;
+  slot.values.resize(static_cast<std::size_t>(cfg_.out_count));
+  for (std::int64_t j = 0; j < cfg_.out_count; ++j) {
+    auto lanes = std::span<float>(&acc_[static_cast<std::size_t>(j * cfg_.num_accumulators)],
+                                  static_cast<std::size_t>(cfg_.num_accumulators));
+    slot.values[static_cast<std::size_t>(j)] = tree_reduce_inplace(lanes);
+  }
+  slot.ready_cycle = now() + static_cast<std::uint64_t>(cfg_.drain_latency());
+  in_flight_.push_back(std::move(slot));
+  ++images_completed_;
+}
+
+void FcnCore::reset() {
+  input_index_ = 0;
+  in_flight_.clear();
+  emit_index_ = 0;
+  images_completed_ = 0;
+  lane_stalls_ = 0;
+  work_cycles_ = 0;
+  worked_this_cycle_ = false;
+  std::fill(lane_busy_until_.begin(), lane_busy_until_.end(), 0);
+}
+
+}  // namespace dfc::hls

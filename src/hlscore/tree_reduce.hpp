@@ -1,0 +1,31 @@
+// Balanced-tree floating-point reduction.
+//
+// The computation core feeds multiplier outputs into a tree adder (paper
+// Sec. IV-A): the tree halves the pipeline depth contribution of the
+// reduction from O(n) sequential adds to O(log2 n) levels. tree_reduce
+// reproduces the exact pairwise association order so the simulated core is
+// bit-identical to what the tree hardware computes, and tree_depth feeds the
+// latency and resource models.
+#pragma once
+
+#include <span>
+
+namespace dfc::hls {
+
+/// Sum of `values` using balanced pairwise (tree) association. Empty input
+/// sums to 0.
+float tree_reduce(std::span<const float> values);
+
+/// Same association order, but reduces in place (the contents of `values`
+/// are destroyed). Allocation-free; used on simulation hot paths.
+float tree_reduce_inplace(std::span<float> values);
+
+/// Number of adder levels of a balanced tree over `n` inputs (= ceil(log2 n),
+/// 0 for n <= 1).
+int tree_depth(std::size_t n);
+
+/// Number of two-input adders a balanced tree over `n` inputs instantiates
+/// (= n - 1 for n >= 1).
+std::size_t tree_adder_count(std::size_t n);
+
+}  // namespace dfc::hls

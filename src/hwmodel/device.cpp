@@ -1,0 +1,29 @@
+#include "hwmodel/device.hpp"
+
+#include <cstdio>
+
+namespace dfc::hw {
+
+std::string ResourceUsage::str() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "LUT %.0f, FF %.0f, BRAM36 %.1f, DSP %.0f", lut, ff,
+                bram36, dsp);
+  return buf;
+}
+
+Device virtex7_485t() {
+  // Xilinx DS180: XC7VX485T.
+  return Device{"xc7vx485t", 303'600, 607'200, 1'030, 2'800};
+}
+
+Device virtex7_330t() {
+  // Xilinx DS180: XC7VX330T.
+  return Device{"xc7vx330t", 204'000, 408'000, 750, 1'120};
+}
+
+Device kintex7_325t() {
+  // Xilinx DS180: XC7K325T.
+  return Device{"xc7k325t", 203'800, 407'600, 445, 840};
+}
+
+}  // namespace dfc::hw

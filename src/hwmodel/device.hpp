@@ -1,0 +1,61 @@
+// FPGA device resource database and resource-usage accounting.
+#pragma once
+
+#include <string>
+
+namespace dfc::hw {
+
+/// Aggregate fabric resources of one device.
+struct ResourceUsage {
+  double lut = 0.0;
+  double ff = 0.0;
+  double bram36 = 0.0;  ///< in 36Kb-block units (a BRAM18 counts 0.5)
+  double dsp = 0.0;
+
+  ResourceUsage& operator+=(const ResourceUsage& o) {
+    lut += o.lut;
+    ff += o.ff;
+    bram36 += o.bram36;
+    dsp += o.dsp;
+    return *this;
+  }
+  friend ResourceUsage operator+(ResourceUsage a, const ResourceUsage& b) { return a += b; }
+  friend ResourceUsage operator*(ResourceUsage a, double s) {
+    a.lut *= s;
+    a.ff *= s;
+    a.bram36 *= s;
+    a.dsp *= s;
+    return a;
+  }
+
+  std::string str() const;
+};
+
+struct Device {
+  std::string name;
+  double luts = 0;
+  double ffs = 0;
+  double bram36 = 0;
+  double dsps = 0;
+
+  /// Fraction of each resource `u` consumes on this device.
+  ResourceUsage utilization(const ResourceUsage& u) const {
+    return ResourceUsage{u.lut / luts, u.ff / ffs, u.bram36 / bram36, u.dsp / dsps};
+  }
+
+  /// True if `u` fits within the device (all fractions <= 1).
+  bool fits(const ResourceUsage& u) const {
+    return u.lut <= luts && u.ff <= ffs && u.bram36 <= bram36 && u.dsp <= dsps;
+  }
+};
+
+/// The paper's device: Virtex-7 xc7vx485t on the VC707 board.
+Device virtex7_485t();
+
+/// A mid-size Virtex-7 for DSE what-if experiments.
+Device virtex7_330t();
+
+/// A smaller Kintex-7 for DSE what-if experiments.
+Device kintex7_325t();
+
+}  // namespace dfc::hw

@@ -1,0 +1,76 @@
+// Reference convolutional layer (paper Eq. 1) with fused activation.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace dfc::nn {
+
+class Conv2d final : public Layer {
+ public:
+  /// Strided convolution with symmetric zero-padding (paper Eq. 1 with the
+  /// stride/padding hyperparameters of Sec. II-A).
+  Conv2d(std::int64_t in_channels, std::int64_t out_channels, int kh, int kw,
+         int stride = 1, Activation act = Activation::kNone, int padding = 0);
+
+  LayerKind kind() const override { return LayerKind::kConv; }
+  Shape3 output_shape(const Shape3& in) const override;
+  Tensor infer(const Tensor& in) const override;
+  Tensor forward(const Tensor& in) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void zero_grad() override;
+  void sgd_step(float lr, float momentum = 0.0f) override;
+  std::string describe() const override;
+  std::int64_t parameter_count() const override {
+    return static_cast<std::int64_t>(weights_.size() + biases_.size());
+  }
+
+  /// Kaiming-uniform initialization.
+  void init_weights(Rng& rng);
+
+  std::int64_t in_channels() const { return in_c_; }
+  std::int64_t out_channels() const { return out_c_; }
+  int kh() const { return kh_; }
+  int kw() const { return kw_; }
+  int stride() const { return stride_; }
+  int padding() const { return pad_; }
+  Activation activation() const { return act_; }
+
+  /// Weights laid out [out][in][kh*kw] — the layout ConvCoreConfig consumes.
+  const std::vector<float>& weights() const { return weights_; }
+  const std::vector<float>& biases() const { return biases_; }
+  std::vector<float>& mutable_weights() { return weights_; }
+  std::vector<float>& mutable_biases() { return biases_; }
+
+ private:
+  float& w(std::int64_t k, std::int64_t c, int dy, int dx) {
+    return weights_[static_cast<std::size_t>(((k * in_c_ + c) * kh_ + dy) * kw_ + dx)];
+  }
+  float w(std::int64_t k, std::int64_t c, int dy, int dx) const {
+    return weights_[static_cast<std::size_t>(((k * in_c_ + c) * kh_ + dy) * kw_ + dx)];
+  }
+
+  Tensor run_forward(const Tensor& in, Tensor* pre_act) const;
+
+  std::int64_t in_c_;
+  std::int64_t out_c_;
+  int kh_;
+  int kw_;
+  int stride_;
+  int pad_;
+  Activation act_;
+
+  std::vector<float> weights_;
+  std::vector<float> biases_;
+  std::vector<float> grad_weights_;
+  std::vector<float> grad_biases_;
+  std::vector<float> vel_weights_;
+  std::vector<float> vel_biases_;
+
+  Tensor cached_in_;
+  Tensor cached_pre_act_;
+};
+
+}  // namespace dfc::nn

@@ -1,0 +1,55 @@
+// Reference (software) CNN layers with forward and backward passes.
+//
+// This module is the golden model for every accelerator test and the
+// producer of the trained weights deployed into the dataflow design, exactly
+// as the paper trains its networks offline and hard-codes the weights at
+// design time. Layers fuse their activation (as the accelerator cores do) so
+// a trained nn::Sequential maps 1:1 onto accelerator layer cores.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "hlscore/activation.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dfc::nn {
+
+using dfc::hls::Activation;
+
+enum class LayerKind { kConv, kPool, kLinear };
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual LayerKind kind() const = 0;
+  virtual Shape3 output_shape(const Shape3& in) const = 0;
+
+  /// Inference-only forward (no state captured).
+  virtual Tensor infer(const Tensor& in) const = 0;
+
+  /// Training forward; captures whatever backward() needs.
+  virtual Tensor forward(const Tensor& in) = 0;
+
+  /// Propagates `grad_out` and accumulates parameter gradients.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  virtual void zero_grad() {}
+
+  /// SGD update with optional classical momentum:
+  ///   v <- momentum * v + grad;  w <- w - lr * v.
+  virtual void sgd_step(float lr, float momentum = 0.0f) {
+    (void)lr;
+    (void)momentum;
+  }
+
+  virtual std::string describe() const = 0;
+
+  /// Trainable parameter count (0 for pooling).
+  virtual std::int64_t parameter_count() const { return 0; }
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+}  // namespace dfc::nn

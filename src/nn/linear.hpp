@@ -1,0 +1,58 @@
+// Reference fully-connected (linear) layer (paper Eq. 2) with fused
+// activation. Operates on the flattened input tensor.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace dfc::nn {
+
+class Linear final : public Layer {
+ public:
+  Linear(std::int64_t in_count, std::int64_t out_count, Activation act = Activation::kNone);
+
+  LayerKind kind() const override { return LayerKind::kLinear; }
+  Shape3 output_shape(const Shape3& in) const override;
+  Tensor infer(const Tensor& in) const override;
+  Tensor forward(const Tensor& in) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void zero_grad() override;
+  void sgd_step(float lr, float momentum = 0.0f) override;
+  std::string describe() const override;
+  std::int64_t parameter_count() const override {
+    return static_cast<std::int64_t>(weights_.size() + biases_.size());
+  }
+
+  void init_weights(Rng& rng);
+
+  std::int64_t in_count() const { return in_count_; }
+  std::int64_t out_count() const { return out_count_; }
+  Activation activation() const { return act_; }
+
+  /// Weights laid out [out][in] — the layout FcnCoreConfig consumes.
+  const std::vector<float>& weights() const { return weights_; }
+  const std::vector<float>& biases() const { return biases_; }
+  std::vector<float>& mutable_weights() { return weights_; }
+  std::vector<float>& mutable_biases() { return biases_; }
+
+ private:
+  Tensor run_forward(const Tensor& in, Tensor* pre_act) const;
+
+  std::int64_t in_count_;
+  std::int64_t out_count_;
+  Activation act_;
+
+  std::vector<float> weights_;
+  std::vector<float> biases_;
+  std::vector<float> grad_weights_;
+  std::vector<float> grad_biases_;
+  std::vector<float> vel_weights_;
+  std::vector<float> vel_biases_;
+
+  Tensor cached_in_;
+  Tensor cached_pre_act_;
+};
+
+}  // namespace dfc::nn

@@ -1,0 +1,96 @@
+#include "nn/pool2d.hpp"
+
+namespace dfc::nn {
+
+Pool2d::Pool2d(PoolMode mode, int kh, int kw, int stride)
+    : mode_(mode), kh_(kh), kw_(kw), stride_(stride) {
+  DFC_REQUIRE(kh >= 1 && kw >= 1 && stride >= 1, "pool window/stride must be >= 1");
+}
+
+Shape3 Pool2d::output_shape(const Shape3& in) const {
+  DFC_REQUIRE(in.h >= kh_ && in.w >= kw_, "pool input smaller than window: " + in.str());
+  return Shape3{in.c, (in.h - kh_) / stride_ + 1, (in.w - kw_) / stride_ + 1};
+}
+
+Tensor Pool2d::run_forward(const Tensor& in, std::vector<std::int64_t>* argmax) const {
+  const Shape3 is = in.shape();
+  const Shape3 os = output_shape(is);
+  Tensor out(os);
+  if (argmax != nullptr) {
+    argmax->assign(static_cast<std::size_t>(os.volume()), -1);
+  }
+  for (std::int64_t c = 0; c < os.c; ++c) {
+    for (std::int64_t oy = 0; oy < os.h; ++oy) {
+      for (std::int64_t ox = 0; ox < os.w; ++ox) {
+        if (mode_ == PoolMode::kMax) {
+          float best = in.at(c, oy * stride_, ox * stride_);
+          std::int64_t best_idx = (c * is.h + oy * stride_) * is.w + ox * stride_;
+          for (int dy = 0; dy < kh_; ++dy) {
+            for (int dx = 0; dx < kw_; ++dx) {
+              const std::int64_t iy = oy * stride_ + dy;
+              const std::int64_t ix = ox * stride_ + dx;
+              const float v = in.at(c, iy, ix);
+              if (v > best) {
+                best = v;
+                best_idx = (c * is.h + iy) * is.w + ix;
+              }
+            }
+          }
+          out.at(c, oy, ox) = best;
+          if (argmax != nullptr) {
+            (*argmax)[static_cast<std::size_t>((c * os.h + oy) * os.w + ox)] = best_idx;
+          }
+        } else {
+          float sum = 0.0f;
+          for (int dy = 0; dy < kh_; ++dy) {
+            for (int dx = 0; dx < kw_; ++dx) {
+              sum += in.at(c, oy * stride_ + dy, ox * stride_ + dx);
+            }
+          }
+          out.at(c, oy, ox) = sum / static_cast<float>(kh_ * kw_);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Pool2d::infer(const Tensor& in) const { return run_forward(in, nullptr); }
+
+Tensor Pool2d::forward(const Tensor& in) {
+  cached_in_shape_ = in.shape();
+  return run_forward(in, mode_ == PoolMode::kMax ? &cached_argmax_ : nullptr);
+}
+
+Tensor Pool2d::backward(const Tensor& grad_out) {
+  const Shape3 os = grad_out.shape();
+  Tensor grad_in(cached_in_shape_, 0.0f);
+  if (mode_ == PoolMode::kMax) {
+    for (std::int64_t i = 0; i < os.volume(); ++i) {
+      const std::int64_t src = cached_argmax_[static_cast<std::size_t>(i)];
+      grad_in.flat()[static_cast<std::size_t>(src)] += grad_out.flat()[static_cast<std::size_t>(i)];
+    }
+  } else {
+    const float scale = 1.0f / static_cast<float>(kh_ * kw_);
+    for (std::int64_t c = 0; c < os.c; ++c) {
+      for (std::int64_t oy = 0; oy < os.h; ++oy) {
+        for (std::int64_t ox = 0; ox < os.w; ++ox) {
+          const float g = grad_out.at(c, oy, ox) * scale;
+          for (int dy = 0; dy < kh_; ++dy) {
+            for (int dx = 0; dx < kw_; ++dx) {
+              grad_in.at(c, oy * stride_ + dy, ox * stride_ + dx) += g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::string Pool2d::describe() const {
+  return std::string(dfc::hls::pool_mode_name(mode_)) + "-pool " + std::to_string(kh_) + "x" +
+         std::to_string(kw_) + " stride " + std::to_string(stride_);
+}
+
+}  // namespace dfc::nn

@@ -1,0 +1,42 @@
+// Reference sub-sampling (pooling) layer: max or mean over a KHxKW window,
+// applied per channel (paper Sec. II-A).
+#pragma once
+
+#include <vector>
+
+#include "hlscore/pool_core.hpp"
+#include "nn/layer.hpp"
+
+namespace dfc::nn {
+
+using dfc::hls::PoolMode;
+
+class Pool2d final : public Layer {
+ public:
+  Pool2d(PoolMode mode, int kh, int kw, int stride);
+
+  LayerKind kind() const override { return LayerKind::kPool; }
+  Shape3 output_shape(const Shape3& in) const override;
+  Tensor infer(const Tensor& in) const override;
+  Tensor forward(const Tensor& in) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string describe() const override;
+
+  PoolMode mode() const { return mode_; }
+  int kh() const { return kh_; }
+  int kw() const { return kw_; }
+  int stride() const { return stride_; }
+
+ private:
+  Tensor run_forward(const Tensor& in, std::vector<std::int64_t>* argmax) const;
+
+  PoolMode mode_;
+  int kh_;
+  int kw_;
+  int stride_;
+
+  Shape3 cached_in_shape_{};
+  std::vector<std::int64_t> cached_argmax_;  ///< flat input index per output (max mode)
+};
+
+}  // namespace dfc::nn

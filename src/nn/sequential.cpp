@@ -1,0 +1,129 @@
+#include "nn/sequential.hpp"
+
+#include <cmath>
+
+namespace dfc::nn {
+
+Tensor log_softmax(const Tensor& logits) {
+  const auto x = logits.flat();
+  float mx = x[0];
+  for (float v : x) mx = std::fmax(mx, v);
+  float sum = 0.0f;
+  for (float v : x) sum += std::exp(v - mx);
+  const float lse = mx + std::log(sum);
+  Tensor out(Shape3{logits.size(), 1, 1});
+  for (std::int64_t i = 0; i < logits.size(); ++i) out[i] = x[static_cast<std::size_t>(i)] - lse;
+  return out;
+}
+
+Tensor softmax(const Tensor& logits) {
+  Tensor lp = log_softmax(logits);
+  for (std::int64_t i = 0; i < lp.size(); ++i) lp[i] = std::exp(lp[i]);
+  return lp;
+}
+
+float nll_loss(const Tensor& logp, std::int64_t target) {
+  DFC_REQUIRE(target >= 0 && target < logp.size(), "target class out of range");
+  return -logp[target];
+}
+
+Tensor cross_entropy_grad(const Tensor& logits, std::int64_t target) {
+  Tensor grad = softmax(logits);
+  grad[target] -= 1.0f;
+  return grad;
+}
+
+void Sequential::init_weights(Rng& rng) {
+  for (auto& l : layers_) {
+    if (auto* conv = dynamic_cast<Conv2d*>(l.get())) conv->init_weights(rng);
+    if (auto* lin = dynamic_cast<Linear*>(l.get())) lin->init_weights(rng);
+  }
+}
+
+Tensor Sequential::infer(const Tensor& image) const {
+  Tensor t = image;
+  for (const auto& l : layers_) {
+    // Linear layers consume the flattened activations of the feature
+    // extractor, matching the FCN cores' sequential value stream.
+    if (l->kind() == LayerKind::kLinear && t.shape().h * t.shape().w != 1) {
+      t = t.reshaped_flat();
+    }
+    t = l->infer(t);
+  }
+  return t;
+}
+
+std::int64_t Sequential::predict(const Tensor& image) const { return infer(image).argmax(); }
+
+Shape3 Sequential::output_shape(const Shape3& in) const {
+  Shape3 s = in;
+  for (const auto& l : layers_) {
+    if (l->kind() == LayerKind::kLinear && s.h * s.w != 1) s = Shape3{s.volume(), 1, 1};
+    s = l->output_shape(s);
+  }
+  return s;
+}
+
+float Sequential::train_batch(const std::vector<Tensor>& images,
+                              const std::vector<std::int64_t>& labels, float lr,
+                              float momentum) {
+  DFC_REQUIRE(images.size() == labels.size() && !images.empty(),
+              "train_batch needs equally many images and labels");
+  for (auto& l : layers_) l->zero_grad();
+
+  float total_loss = 0.0f;
+  // Where a linear layer consumed a flattened feature volume, the gradient
+  // must be folded back to the original shape on the way down.
+  std::vector<Shape3> unflatten_shape(layers_.size());
+  for (std::size_t n = 0; n < images.size(); ++n) {
+    Tensor t = images[n];
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+      unflatten_shape[i] = Shape3{};
+      if (layers_[i]->kind() == LayerKind::kLinear && t.shape().h * t.shape().w != 1) {
+        unflatten_shape[i] = t.shape();
+        t = t.reshaped_flat();
+      }
+      t = layers_[i]->forward(t);
+    }
+    total_loss += nll_loss(log_softmax(t), labels[n]);
+    Tensor grad = cross_entropy_grad(t, labels[n]);
+    for (std::size_t i = layers_.size(); i-- > 0;) {
+      grad = layers_[i]->backward(grad);
+      if (unflatten_shape[i].volume() > 0) {
+        grad = Tensor(unflatten_shape[i],
+                      std::vector<float>(grad.flat().begin(), grad.flat().end()));
+      }
+    }
+  }
+
+  const float scale = lr / static_cast<float>(images.size());
+  for (auto& l : layers_) l->sgd_step(scale, momentum);
+  return total_loss / static_cast<float>(images.size());
+}
+
+double Sequential::evaluate(const std::vector<Tensor>& images,
+                            const std::vector<std::int64_t>& labels) const {
+  DFC_REQUIRE(images.size() == labels.size(), "evaluate needs equally many images and labels");
+  if (images.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t n = 0; n < images.size(); ++n) {
+    if (predict(images[n]) == labels[n]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(images.size());
+}
+
+std::int64_t Sequential::parameter_count() const {
+  std::int64_t total = 0;
+  for (const auto& l : layers_) total += l->parameter_count();
+  return total;
+}
+
+std::string Sequential::describe() const {
+  std::string out;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    out += "  [" + std::to_string(i) + "] " + layers_[i]->describe() + "\n";
+  }
+  return out;
+}
+
+}  // namespace dfc::nn

@@ -1,0 +1,76 @@
+// Sequential network container with SGD training.
+//
+// The classification stage ends with the LogSoftMax normalization operator
+// (paper Eq. 3), which here lives in the loss (log_softmax + NLL =
+// cross-entropy), matching the paper's designs where the normalization runs
+// on the host and the accelerator emits the last linear layer's outputs.
+#pragma once
+
+#include <vector>
+
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pool2d.hpp"
+
+namespace dfc::nn {
+
+/// log(softmax(x)) over the flattened tensor (paper Eq. 3, in log space for
+/// numerical stability).
+Tensor log_softmax(const Tensor& logits);
+
+/// Softmax probabilities (paper Eq. 3).
+Tensor softmax(const Tensor& logits);
+
+/// Negative log-likelihood of `target` under log-probabilities `logp`.
+float nll_loss(const Tensor& logp, std::int64_t target);
+
+/// Gradient of nll_loss(log_softmax(logits), target) w.r.t. logits.
+Tensor cross_entropy_grad(const Tensor& logits, std::int64_t target);
+
+class Sequential {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer and returns a reference to it for configuration.
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+  const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+
+  /// Randomizes all trainable parameters.
+  void init_weights(Rng& rng);
+
+  /// Inference forward through all layers (raw logits, no softmax).
+  Tensor infer(const Tensor& image) const;
+
+  /// Predicted class = argmax of the logits.
+  std::int64_t predict(const Tensor& image) const;
+
+  /// Shape produced by the network for the given input shape.
+  Shape3 output_shape(const Shape3& in) const;
+
+  /// One SGD step over a minibatch; returns the mean loss. `momentum` of 0
+  /// is plain SGD; classical momentum otherwise.
+  float train_batch(const std::vector<Tensor>& images,
+                    const std::vector<std::int64_t>& labels, float lr,
+                    float momentum = 0.0f);
+
+  /// Fraction of correctly classified samples.
+  double evaluate(const std::vector<Tensor>& images,
+                  const std::vector<std::int64_t>& labels) const;
+
+  std::int64_t parameter_count() const;
+  std::string describe() const;
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace dfc::nn

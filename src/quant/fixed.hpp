@@ -1,0 +1,90 @@
+// Fixed-point arithmetic (paper Sec. IV-B closing remark and future work).
+//
+// The paper notes that the floating-point accumulation-latency problem "does
+// not arise when using integer values". This module provides a saturating
+// signed fixed-point format so the cores can be evaluated in integer
+// arithmetic: quantization error is measurable against the float golden
+// model, and the timing benefit (single-cycle accumulate, so one accumulator
+// suffices) is exercised by the quantization ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace dfc::quant {
+
+/// Runtime-configurable Q-format: `total_bits` signed bits with `frac_bits`
+/// fractional bits, saturating on overflow.
+struct FixedFormat {
+  int total_bits = 16;
+  int frac_bits = 8;
+
+  void validate() const {
+    DFC_REQUIRE(total_bits >= 2 && total_bits <= 32, "fixed total bits in [2,32]");
+    DFC_REQUIRE(frac_bits >= 0 && frac_bits < total_bits, "fixed frac bits in [0,total)");
+  }
+
+  std::int64_t max_raw() const { return (std::int64_t{1} << (total_bits - 1)) - 1; }
+  std::int64_t min_raw() const { return -(std::int64_t{1} << (total_bits - 1)); }
+  double scale() const { return static_cast<double>(std::int64_t{1} << frac_bits); }
+
+  std::string str() const {
+    return "Q" + std::to_string(total_bits - frac_bits) + "." + std::to_string(frac_bits);
+  }
+};
+
+/// One fixed-point value; raw two's-complement payload plus its format.
+class Fixed {
+ public:
+  Fixed() = default;
+  Fixed(std::int64_t raw, FixedFormat fmt) : raw_(clamp(raw, fmt)), fmt_(fmt) {}
+
+  static Fixed from_float(float v, FixedFormat fmt) {
+    const double scaled = static_cast<double>(v) * fmt.scale();
+    const auto rounded = static_cast<std::int64_t>(scaled >= 0 ? scaled + 0.5 : scaled - 0.5);
+    return Fixed(rounded, fmt);
+  }
+
+  float to_float() const { return static_cast<float>(static_cast<double>(raw_) / fmt_.scale()); }
+  std::int64_t raw() const { return raw_; }
+  const FixedFormat& format() const { return fmt_; }
+
+  /// Saturating add; operands must share the format.
+  Fixed operator+(const Fixed& o) const {
+    DFC_ASSERT(same_format(o), "fixed add format mismatch");
+    return Fixed(raw_ + o.raw_, fmt_);
+  }
+
+  /// Saturating multiply with round-to-nearest on the fractional shift.
+  Fixed operator*(const Fixed& o) const {
+    DFC_ASSERT(same_format(o), "fixed mul format mismatch");
+    const std::int64_t wide = raw_ * o.raw_;
+    const std::int64_t half = std::int64_t{1} << (fmt_.frac_bits - 1);
+    const std::int64_t shifted =
+        fmt_.frac_bits == 0 ? wide : ((wide >= 0 ? wide + half : wide - half) >> fmt_.frac_bits);
+    return Fixed(shifted, fmt_);
+  }
+
+  bool operator<(const Fixed& o) const { return raw_ < o.raw_; }
+  bool operator==(const Fixed& o) const { return raw_ == o.raw_ && same_format(o); }
+
+ private:
+  bool same_format(const Fixed& o) const {
+    return fmt_.total_bits == o.fmt_.total_bits && fmt_.frac_bits == o.fmt_.frac_bits;
+  }
+  static std::int64_t clamp(std::int64_t raw, const FixedFormat& fmt) {
+    if (raw > fmt.max_raw()) return fmt.max_raw();
+    if (raw < fmt.min_raw()) return fmt.min_raw();
+    return raw;
+  }
+
+  std::int64_t raw_ = 0;
+  FixedFormat fmt_{};
+};
+
+/// Round-trip quantization: the float nearest to `v` representable in `fmt`.
+inline float quantize(float v, FixedFormat fmt) { return Fixed::from_float(v, fmt).to_float(); }
+
+}  // namespace dfc::quant

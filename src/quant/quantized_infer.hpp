@@ -1,0 +1,23 @@
+// Fixed-point reference inference over a compiled NetworkSpec.
+//
+// Evaluates the network with all weights, activations and intermediate
+// values held in a fixed-point format, so the quantization ablation can
+// report accuracy/error against the float golden model without building a
+// second set of simulated cores (timing is format-independent except for
+// the accumulator latency, which the FcnCore latency parameter covers).
+#pragma once
+
+#include "core/network_spec.hpp"
+#include "quant/fixed.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dfc::quant {
+
+/// Runs `image` through `spec` in fixed-point; returns float-decoded logits.
+Tensor fixed_point_infer(const dfc::core::NetworkSpec& spec, const Tensor& image,
+                         FixedFormat fmt);
+
+/// Maximum absolute quantization error of the weights of `spec` under `fmt`.
+double weight_quantization_error(const dfc::core::NetworkSpec& spec, FixedFormat fmt);
+
+}  // namespace dfc::quant

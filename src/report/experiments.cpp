@@ -1,0 +1,107 @@
+#include "report/experiments.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace dfc::report {
+
+using dfc::core::AcceleratorHarness;
+using dfc::core::BatchResult;
+using dfc::core::NetworkSpec;
+
+std::vector<Tensor> random_images(const NetworkSpec& spec, std::size_t count,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tensor> images;
+  images.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Tensor t(spec.input_shape);
+    for (float& v : t.flat()) v = rng.uniform(-1.0f, 1.0f);
+    images.push_back(std::move(t));
+  }
+  return images;
+}
+
+PerformanceMetrics measure_performance(const NetworkSpec& spec, std::size_t batch,
+                                       std::uint64_t seed, const dfc::hw::CostModel& cost,
+                                       const dfc::hw::PowerModel& power) {
+  AcceleratorHarness harness(dfc::core::build_accelerator(spec));
+  const auto images = random_images(spec, batch, seed);
+  const BatchResult r = harness.run_batch(images);
+
+  PerformanceMetrics m;
+  m.name = spec.name;
+  m.batch = batch;
+  m.total_cycles = r.total_cycles();
+  m.mean_us_per_image = dfc::core::cycles_to_us(r.mean_cycles_per_image());
+  m.end_to_end_latency_us =
+      dfc::core::cycles_to_us(static_cast<double>(r.image_latency_cycles(batch - 1)));
+  if (batch >= 2) {
+    m.steady_interval_us =
+        dfc::core::cycles_to_us(static_cast<double>(r.steady_interval_cycles()));
+  }
+  const double seconds = dfc::core::cycles_to_seconds(static_cast<double>(r.total_cycles()));
+  m.images_per_second = static_cast<double>(batch) / seconds;
+  m.gflops = static_cast<double>(spec.flops_per_image()) * static_cast<double>(batch) /
+             seconds / 1e9;
+  m.watts = power.estimate_watts(dfc::hw::estimate_design(spec, cost).total);
+  m.gflops_per_watt = m.gflops / m.watts;
+  return m;
+}
+
+namespace {
+std::vector<BatchPoint> sweep_impl(const NetworkSpec& spec,
+                                   const std::vector<std::size_t>& batches,
+                                   std::uint64_t seed, bool sequential) {
+  AcceleratorHarness harness(dfc::core::build_accelerator(spec));
+  std::vector<BatchPoint> points;
+  points.reserve(batches.size());
+  std::size_t max_batch = 0;
+  for (std::size_t b : batches) max_batch = std::max(max_batch, b);
+  const auto images = random_images(spec, max_batch, seed);
+  for (std::size_t b : batches) {
+    const std::vector<Tensor> slice(images.begin(),
+                                    images.begin() + static_cast<std::ptrdiff_t>(b));
+    const BatchResult r = sequential ? harness.run_sequential(slice) : harness.run_batch(slice);
+    points.push_back(BatchPoint{b, dfc::core::cycles_to_us(r.mean_cycles_per_image()),
+                                r.total_cycles()});
+  }
+  return points;
+}
+}  // namespace
+
+std::vector<BatchPoint> batch_sweep(const NetworkSpec& spec,
+                                    const std::vector<std::size_t>& batches,
+                                    std::uint64_t seed) {
+  return sweep_impl(spec, batches, seed, false);
+}
+
+std::vector<BatchPoint> batch_sweep_sequential(const NetworkSpec& spec,
+                                               const std::vector<std::size_t>& batches,
+                                               std::uint64_t seed) {
+  return sweep_impl(spec, batches, seed, true);
+}
+
+std::vector<StageUtilization> pipeline_profile(const dfc::core::Accelerator& acc,
+                                               std::uint64_t elapsed_cycles) {
+  std::vector<StageUtilization> rows;
+  const double denom = elapsed_cycles > 0 ? static_cast<double>(elapsed_cycles) : 1.0;
+  for (const auto* core : acc.conv_cores) {
+    rows.push_back({core->name(), core->work_cycles(),
+                    static_cast<double>(core->work_cycles()) / denom});
+  }
+  for (const auto* core : acc.pool_cores) {
+    rows.push_back({core->name(), core->work_cycles(),
+                    static_cast<double>(core->work_cycles()) / denom});
+  }
+  for (const auto* core : acc.fcn_cores) {
+    rows.push_back({core->name(), core->work_cycles(),
+                    static_cast<double>(core->work_cycles()) / denom});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const StageUtilization& a, const StageUtilization& b) { return a.name < b.name; });
+  return rows;
+}
+
+}  // namespace dfc::report

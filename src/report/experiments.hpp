@@ -1,0 +1,71 @@
+// Shared experiment drivers for the benchmark harness.
+//
+// Every paper table/figure bench builds on these: they run the simulated
+// accelerator on random images (performance is data-independent), convert
+// cycles to wall time at the 100 MHz design clock, and derive the metrics of
+// Table II (GFLOPS, GFLOPS/W via the hwmodel power estimate, image latency,
+// images/s) and Fig. 6 (mean time per image vs batch size).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/harness.hpp"
+#include "core/network_spec.hpp"
+#include "hwmodel/cost_model.hpp"
+#include "hwmodel/power.hpp"
+
+namespace dfc::report {
+
+/// Random images with the spec's input shape (deterministic per seed).
+std::vector<Tensor> random_images(const dfc::core::NetworkSpec& spec, std::size_t count,
+                                  std::uint64_t seed = 7);
+
+struct PerformanceMetrics {
+  std::string name;
+  std::size_t batch = 0;
+  std::uint64_t total_cycles = 0;
+  double mean_us_per_image = 0.0;        ///< batch time / batch size (Fig. 6 metric)
+  double end_to_end_latency_us = 0.0;    ///< inject -> last output of one image
+  double steady_interval_us = 0.0;       ///< completion spacing at steady state
+  double images_per_second = 0.0;
+  double gflops = 0.0;
+  double watts = 0.0;
+  double gflops_per_watt = 0.0;
+};
+
+/// Runs a pipelined batch and derives all Table II metrics.
+PerformanceMetrics measure_performance(const dfc::core::NetworkSpec& spec, std::size_t batch,
+                                       std::uint64_t seed = 7,
+                                       const dfc::hw::CostModel& cost = {},
+                                       const dfc::hw::PowerModel& power = {});
+
+struct BatchPoint {
+  std::size_t batch = 0;
+  double mean_us_per_image = 0.0;
+  std::uint64_t total_cycles = 0;
+};
+
+/// Fig. 6 sweep: mean time per image for each batch size.
+std::vector<BatchPoint> batch_sweep(const dfc::core::NetworkSpec& spec,
+                                    const std::vector<std::size_t>& batches,
+                                    std::uint64_t seed = 7);
+
+/// Sequential (non-pipelined) counterpart for the A1 ablation.
+std::vector<BatchPoint> batch_sweep_sequential(const dfc::core::NetworkSpec& spec,
+                                               const std::vector<std::size_t>& batches,
+                                               std::uint64_t seed = 7);
+
+/// Per-core busy fraction over `elapsed_cycles` — the pipeline balance the
+/// paper describes as "at steady state, all the different layers of the
+/// network will be concurrently active and computing".
+struct StageUtilization {
+  std::string name;
+  std::uint64_t work_cycles = 0;
+  double utilization = 0.0;
+};
+std::vector<StageUtilization> pipeline_profile(const dfc::core::Accelerator& acc,
+                                               std::uint64_t elapsed_cycles);
+
+}  // namespace dfc::report

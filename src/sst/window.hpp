@@ -1,0 +1,100 @@
+// Window tokens and sliding-window geometry for the SST memory system.
+//
+// The SST memory structure of a layer turns a channel-interleaved pixel
+// stream into a stream of KHxKW windows, one per output position and
+// interleaved channel slot. Window is the token exchanged between the memory
+// structure and the compute core ("register slice" contents in the paper).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace dfc::sst {
+
+/// Geometry of the sliding window applied by one layer port.
+///
+/// With zero-padding P > 0 the window origin grid extends P pixels beyond
+/// the feature map on every side (paper Sec. II-A lists P as a layer
+/// hyperparameter); taps falling outside the map read as zero.
+struct WindowGeometry {
+  std::int64_t in_w = 0;   ///< feature-map width
+  std::int64_t in_h = 0;   ///< feature-map height
+  int kh = 1;              ///< window height
+  int kw = 1;              ///< window width
+  int stride_y = 1;
+  int stride_x = 1;
+  std::int64_t channels = 1;  ///< feature maps interleaved on this port
+  int pad = 0;                ///< symmetric zero-padding
+
+  void validate() const {
+    DFC_REQUIRE(in_w + 2 * pad >= kw && in_h + 2 * pad >= kh,
+                "window larger than padded feature map");
+    DFC_REQUIRE(kh >= 1 && kw >= 1 && kh * kw <= kMaxTaps,
+                "window taps out of supported range");
+    DFC_REQUIRE(stride_x >= 1 && stride_y >= 1, "stride must be >= 1");
+    DFC_REQUIRE(channels >= 1, "channels must be >= 1");
+    DFC_REQUIRE(pad >= 0 && pad < kw && pad < kh,
+                "padding must be smaller than the window");
+  }
+
+  std::int64_t out_w() const { return (in_w + 2 * pad - kw) / stride_x + 1; }
+  std::int64_t out_h() const { return (in_h + 2 * pad - kh) / stride_y + 1; }
+  std::int64_t taps() const { return static_cast<std::int64_t>(kh) * kw; }
+
+  /// First valid origin coordinate (negative with padding).
+  std::int64_t origin_min() const { return -static_cast<std::int64_t>(pad); }
+  /// Last valid strided origin along x / y.
+  std::int64_t last_origin_x() const {
+    return origin_min() + ((in_w + 2 * pad - kw) / stride_x) * stride_x;
+  }
+  std::int64_t last_origin_y() const {
+    return origin_min() + ((in_h + 2 * pad - kh) / stride_y) * stride_y;
+  }
+
+  /// Stream elements per image on this port.
+  std::int64_t values_per_image() const { return in_w * in_h * channels; }
+
+  /// Windows emitted per image on this port.
+  std::int64_t windows_per_image() const { return out_w() * out_h() * channels; }
+
+  /// True if `o` is a valid strided origin coordinate for the given axis
+  /// extent (`in_h` or `in_w`).
+  bool is_valid_origin(std::int64_t oy, std::int64_t ox) const {
+    if (oy < origin_min() || ox < origin_min()) return false;
+    if (oy > in_h + pad - kh || ox > in_w + pad - kw) return false;
+    return ((oy - origin_min()) % stride_y == 0) && ((ox - origin_min()) % stride_x == 0);
+  }
+
+  /// True if the element at pixel (y, x) is tap (dy, dx) of a valid strided
+  /// output position (unpadded fast path used by the filter chain).
+  bool is_tap_of_valid_origin(std::int64_t y, std::int64_t x, int dy, int dx) const {
+    return is_valid_origin(y - dy, x - dx);
+  }
+
+  static constexpr int kMaxTaps = 64;
+
+  bool operator==(const WindowGeometry&) const = default;
+};
+
+/// One assembled window: `count` taps in row-major (dy, dx) order, for the
+/// channel occupying `slot` on this port. Position and channel fields are
+/// simulation metadata used for assertions and tests; hardware transmits only
+/// the tap values.
+struct Window {
+  std::array<float, WindowGeometry::kMaxTaps> taps{};
+  std::uint16_t count = 0;
+  std::uint16_t slot = 0;          ///< channel slot within the port [0, channels)
+  std::int32_t abs_channel = 0;    ///< absolute feature-map index (metadata)
+  std::int32_t ox = 0;             ///< output x position
+  std::int32_t oy = 0;             ///< output y position
+  bool last_of_image = false;      ///< final window of the image on this port
+
+  float tap(int dy, int dx, int kw) const {
+    return taps[static_cast<std::size_t>(dy * kw + dx)];
+  }
+};
+
+}  // namespace dfc::sst

@@ -1,0 +1,40 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.hpp"
+
+namespace dfc {
+
+std::int64_t Tensor::argmax() const {
+  DFC_REQUIRE(!data_.empty(), "argmax of empty tensor");
+  const auto it = std::max_element(data_.begin(), data_.end());
+  return static_cast<std::int64_t>(it - data_.begin());
+}
+
+void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+double max_abs_diff(const Tensor& a, const Tensor& b) {
+  DFC_REQUIRE(a.shape() == b.shape(), "max_abs_diff: shape mismatch " + a.shape().str() +
+                                          " vs " + b.shape().str());
+  double worst = 0.0;
+  const auto fa = a.flat();
+  const auto fb = b.flat();
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    worst = std::fmax(worst, std::fabs(static_cast<double>(fa[i]) - fb[i]));
+  }
+  return worst;
+}
+
+bool tensors_close(const Tensor& a, const Tensor& b, float rel, float abs) {
+  if (a.shape() != b.shape()) return false;
+  const auto fa = a.flat();
+  const auto fb = b.flat();
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    if (!almost_equal(fa[i], fb[i], rel, abs)) return false;
+  }
+  return true;
+}
+
+}  // namespace dfc

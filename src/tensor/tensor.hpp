@@ -1,0 +1,111 @@
+// Dense 3-D tensor (channel-major CHW) used throughout the library.
+//
+// The accelerator streams feature maps channel-interleaved and pixel-major,
+// while the reference network and datasets operate on whole tensors; Tensor
+// is the common currency between them. Only float32 is stored — the paper's
+// designs use single-precision floating point end to end.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dfc {
+
+/// Shape of a CHW tensor. A flat vector is represented as {c, 1, 1}.
+struct Shape3 {
+  std::int64_t c = 0;  ///< channels / feature maps
+  std::int64_t h = 0;  ///< height (rows)
+  std::int64_t w = 0;  ///< width (columns)
+
+  std::int64_t volume() const { return c * h * w; }
+  std::int64_t plane() const { return h * w; }
+
+  bool operator==(const Shape3&) const = default;
+
+  std::string str() const {
+    return std::to_string(c) + "x" + std::to_string(h) + "x" + std::to_string(w);
+  }
+};
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(Shape3 shape, float fill = 0.0f)
+      : shape_(shape), data_(check_volume(shape), fill) {}
+
+  Tensor(Shape3 shape, std::vector<float> data) : shape_(shape), data_(std::move(data)) {
+    DFC_REQUIRE(static_cast<std::int64_t>(data_.size()) == shape_.volume(),
+                "tensor data size does not match shape " + shape_.str());
+  }
+
+  const Shape3& shape() const { return shape_; }
+  std::int64_t size() const { return shape_.volume(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Element access in channel-major order: index = (c*H + y)*W + x.
+  float& at(std::int64_t c, std::int64_t y, std::int64_t x) {
+    return data_[offset(c, y, x)];
+  }
+  float at(std::int64_t c, std::int64_t y, std::int64_t x) const {
+    return data_[offset(c, y, x)];
+  }
+
+  /// Flat access (useful when the tensor is a vector).
+  float& operator[](std::int64_t i) {
+    DFC_ASSERT(i >= 0 && i < size(), "tensor flat index out of range");
+    return data_[static_cast<std::size_t>(i)];
+  }
+  float operator[](std::int64_t i) const {
+    DFC_ASSERT(i >= 0 && i < size(), "tensor flat index out of range");
+    return data_[static_cast<std::size_t>(i)];
+  }
+
+  std::span<float> flat() { return data_; }
+  std::span<const float> flat() const { return data_; }
+
+  /// One channel plane as a contiguous span of h*w floats.
+  std::span<const float> channel(std::int64_t c) const {
+    DFC_ASSERT(c >= 0 && c < shape_.c, "channel index out of range");
+    return std::span<const float>(data_).subspan(
+        static_cast<std::size_t>(c * shape_.plane()),
+        static_cast<std::size_t>(shape_.plane()));
+  }
+
+  /// Index of the maximum element (argmax over the flattened tensor).
+  std::int64_t argmax() const;
+
+  /// Fills every element with `value`.
+  void fill(float value);
+
+  /// Reinterprets the same data as a flat {n,1,1} tensor.
+  Tensor reshaped_flat() const { return Tensor({size(), 1, 1}, data_); }
+
+ private:
+  static std::size_t check_volume(const Shape3& s) {
+    DFC_REQUIRE(s.c > 0 && s.h > 0 && s.w > 0, "tensor shape must be positive: " + s.str());
+    return static_cast<std::size_t>(s.volume());
+  }
+
+  std::size_t offset(std::int64_t c, std::int64_t y, std::int64_t x) const {
+    DFC_ASSERT(c >= 0 && c < shape_.c && y >= 0 && y < shape_.h && x >= 0 && x < shape_.w,
+               "tensor index out of range");
+    return static_cast<std::size_t>((c * shape_.h + y) * shape_.w + x);
+  }
+
+  Shape3 shape_{};
+  std::vector<float> data_;
+};
+
+/// Maximum absolute elementwise difference; shapes must match.
+double max_abs_diff(const Tensor& a, const Tensor& b);
+
+/// True if every element of `a` is within rel/abs tolerance of `b`.
+bool tensors_close(const Tensor& a, const Tensor& b, float rel = 1e-4f, float abs = 1e-5f);
+
+}  // namespace dfc

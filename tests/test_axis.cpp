@@ -1,0 +1,94 @@
+// Unit tests for the AXI4-Stream packing rules (feature-map interleaving).
+#include <gtest/gtest.h>
+
+#include "axis/flit.hpp"
+#include "common/rng.hpp"
+
+namespace dfc::axis {
+namespace {
+
+Tensor sequential_tensor(const Shape3& s) {
+  Tensor t(s);
+  for (std::int64_t i = 0; i < t.size(); ++i) t[i] = static_cast<float>(i);
+  return t;
+}
+
+TEST(ChannelsOnPortTest, RoundRobinCounts) {
+  EXPECT_EQ(channels_on_port(6, 1, 0), 6);
+  EXPECT_EQ(channels_on_port(6, 2, 0), 3);
+  EXPECT_EQ(channels_on_port(6, 2, 1), 3);
+  EXPECT_EQ(channels_on_port(7, 2, 0), 4);
+  EXPECT_EQ(channels_on_port(7, 2, 1), 3);
+  EXPECT_EQ(channels_on_port(2, 4, 3), 0);
+}
+
+TEST(PackTest, SinglePortInterleavesChannelsPerPixel) {
+  const Tensor t = sequential_tensor(Shape3{2, 2, 2});
+  const auto stream = pack_port_stream(t, 1, 0);
+  ASSERT_EQ(stream.size(), 8u);
+  // Pixel (0,0): channel 0 then channel 1.
+  EXPECT_EQ(stream[0].data, t.at(0, 0, 0));
+  EXPECT_EQ(stream[1].data, t.at(1, 0, 0));
+  EXPECT_EQ(stream[0].channel, 0);
+  EXPECT_EQ(stream[1].channel, 1);
+  // Pixel (0,1):
+  EXPECT_EQ(stream[2].data, t.at(0, 0, 1));
+  EXPECT_EQ(stream[3].data, t.at(1, 0, 1));
+  EXPECT_TRUE(stream.back().last);
+  EXPECT_FALSE(stream.front().last);
+}
+
+TEST(PackTest, MultiPortSplitsChannelsRoundRobin) {
+  const Tensor t = sequential_tensor(Shape3{4, 1, 2});
+  const auto p0 = pack_port_stream(t, 2, 0);
+  const auto p1 = pack_port_stream(t, 2, 1);
+  ASSERT_EQ(p0.size(), 4u);  // channels 0, 2 over 2 pixels
+  ASSERT_EQ(p1.size(), 4u);  // channels 1, 3
+  EXPECT_EQ(p0[0].channel, 0);
+  EXPECT_EQ(p0[1].channel, 2);
+  EXPECT_EQ(p1[0].channel, 1);
+  EXPECT_EQ(p1[1].channel, 3);
+  EXPECT_EQ(p0[0].data, t.at(0, 0, 0));
+  EXPECT_EQ(p0[1].data, t.at(2, 0, 0));
+  EXPECT_EQ(p0[2].data, t.at(0, 0, 1));
+}
+
+TEST(PackTest, InvalidPortThrows) {
+  const Tensor t = sequential_tensor(Shape3{1, 1, 1});
+  EXPECT_THROW(pack_port_stream(t, 2, 2), ConfigError);
+  EXPECT_THROW(pack_port_stream(t, 0, 0), ConfigError);
+}
+
+class PackRoundTrip : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(PackRoundTrip, UnpackInvertsPack) {
+  const auto [c, h, w, ports] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(c * 1000 + h * 100 + w * 10 + ports));
+  Tensor t(Shape3{c, h, w});
+  for (float& v : t.flat()) v = rng.uniform(-1.0f, 1.0f);
+
+  std::vector<std::vector<Flit>> streams;
+  for (int p = 0; p < ports; ++p) streams.push_back(pack_port_stream(t, ports, p));
+  const Tensor back = unpack_port_streams(t.shape(), streams);
+  EXPECT_TRUE(tensors_close(t, back, 0.0f, 0.0f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PackRoundTrip,
+                         ::testing::Values(std::make_tuple(1, 4, 4, 1),
+                                           std::make_tuple(3, 5, 7, 1),
+                                           std::make_tuple(6, 3, 3, 2),
+                                           std::make_tuple(6, 3, 3, 3),
+                                           std::make_tuple(6, 3, 3, 6),
+                                           std::make_tuple(12, 2, 2, 4),
+                                           std::make_tuple(16, 1, 1, 1),
+                                           std::make_tuple(8, 6, 5, 2)));
+
+TEST(UnpackTest, LengthMismatchThrows) {
+  const Tensor t = sequential_tensor(Shape3{2, 2, 2});
+  auto s = pack_port_stream(t, 1, 0);
+  s.pop_back();
+  EXPECT_THROW(unpack_port_streams(t.shape(), {s}), ConfigError);
+}
+
+}  // namespace
+}  // namespace dfc::axis

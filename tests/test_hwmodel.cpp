@@ -1,0 +1,180 @@
+// Tests for the resource and power models (Table I reproduction).
+#include <gtest/gtest.h>
+
+#include "core/presets.hpp"
+#include "hwmodel/cost_model.hpp"
+#include "hwmodel/power.hpp"
+
+namespace dfc::hw {
+namespace {
+
+TEST(DeviceTest, Virtex7Database) {
+  const Device d = virtex7_485t();
+  EXPECT_EQ(d.name, "xc7vx485t");
+  EXPECT_EQ(d.dsps, 2800);
+  EXPECT_EQ(d.bram36, 1030);
+  EXPECT_EQ(d.luts, 303600);
+  EXPECT_EQ(d.ffs, 607200);
+}
+
+TEST(DeviceTest, UtilizationAndFits) {
+  const Device d = virtex7_485t();
+  ResourceUsage u{303600.0 / 2, 607200.0 / 4, 103, 280};
+  const ResourceUsage frac = d.utilization(u);
+  EXPECT_NEAR(frac.lut, 0.5, 1e-9);
+  EXPECT_NEAR(frac.ff, 0.25, 1e-9);
+  EXPECT_NEAR(frac.bram36, 0.1, 1e-9);
+  EXPECT_NEAR(frac.dsp, 0.1, 1e-9);
+  EXPECT_TRUE(d.fits(u));
+  u.dsp = 2801;
+  EXPECT_FALSE(d.fits(u));
+}
+
+TEST(ResourceUsageTest, Arithmetic) {
+  ResourceUsage a{1, 2, 3, 4};
+  ResourceUsage b{10, 20, 30, 40};
+  const ResourceUsage c = a + b;
+  EXPECT_EQ(c.lut, 11);
+  EXPECT_EQ(c.dsp, 44);
+  const ResourceUsage d = a * 2.0;
+  EXPECT_EQ(d.ff, 4);
+}
+
+TEST(CostModelTest, MoreParallelismCostsMoreDsp) {
+  using dfc::core::ConvLayerSpec;
+  ConvLayerSpec narrow;
+  narrow.in_shape = Shape3{4, 10, 10};
+  narrow.out_fm = 8;
+  narrow.kh = narrow.kw = 3;
+  narrow.in_ports = 1;
+  narrow.out_ports = 1;
+  narrow.weights.resize(static_cast<std::size_t>(8 * 4 * 9));
+  narrow.biases.resize(8);
+
+  ConvLayerSpec wide = narrow;
+  wide.in_ports = 4;
+  wide.out_ports = 8;
+
+  const ResourceUsage n = estimate_layer(dfc::core::LayerSpec{narrow});
+  const ResourceUsage w = estimate_layer(dfc::core::LayerSpec{wide});
+  EXPECT_GT(w.dsp, n.dsp);
+  // Fully parallel: II = 1 -> all 8*4*9 MACs in silicon.
+  EXPECT_EQ(w.dsp, 8 * 4 * 9 * 5);  // 3 DSP mul + 2 DSP add each
+}
+
+TEST(CostModelTest, BigWeightRomsGoToBram) {
+  using dfc::core::FcnLayerSpec;
+  FcnLayerSpec fcn;
+  fcn.in_count = 900;
+  fcn.out_count = 84;
+  fcn.weights.resize(static_cast<std::size_t>(900 * 84));
+  fcn.biases.resize(84);
+  const ResourceUsage r = estimate_layer(dfc::core::LayerSpec{fcn});
+  // 84 ROMs of 900 words: ceil(900/512) = 2 BRAM18 = 1 BRAM36 each.
+  EXPECT_GE(r.bram36, 84.0);
+}
+
+TEST(CostModelTest, SmallWeightRomsStayInLogic) {
+  using dfc::core::FcnLayerSpec;
+  FcnLayerSpec fcn;
+  fcn.in_count = 16;
+  fcn.out_count = 4;
+  fcn.weights.resize(64);
+  fcn.biases.resize(4);
+  const ResourceUsage r = estimate_layer(dfc::core::LayerSpec{fcn});
+  EXPECT_EQ(r.bram36, 0.0);
+  EXPECT_GT(r.lut, 0.0);
+}
+
+TEST(CostModelTest, PoolCoresAreCheap) {
+  using dfc::core::PoolLayerSpec;
+  PoolLayerSpec pool;
+  pool.in_shape = Shape3{6, 12, 12};
+  pool.ports = 6;
+  const ResourceUsage r = estimate_layer(dfc::core::LayerSpec{pool});
+  EXPECT_EQ(r.dsp, 0.0);  // max pooling needs no DSPs
+  EXPECT_LT(r.lut, 10'000.0);
+}
+
+// --- Table I shape ------------------------------------------------------------
+
+TEST(TableITest, UspsUtilizationInPaperRange) {
+  const Device dev = virtex7_485t();
+  const DesignEstimate est = estimate_design(dfc::core::make_usps_spec());
+  const ResourceUsage u = dev.utilization(est.total);
+  // Paper: FF 41.10%, LUT 50.86%, BRAM 3.50%, DSP 55.04%.
+  EXPECT_NEAR(u.dsp, 0.5504, 0.08);
+  EXPECT_NEAR(u.bram36, 0.035, 0.03);
+  EXPECT_NEAR(u.lut, 0.5086, 0.15);
+  EXPECT_NEAR(u.ff, 0.4110, 0.15);
+  EXPECT_TRUE(dev.fits(est.total));
+}
+
+TEST(TableITest, CifarUtilizationInPaperRange) {
+  const Device dev = virtex7_485t();
+  const DesignEstimate est = estimate_design(dfc::core::make_cifar_spec());
+  const ResourceUsage u = dev.utilization(est.total);
+  // Paper: FF 61.77%, LUT 71.24%, BRAM 22.82%, DSP 74.32%.
+  EXPECT_NEAR(u.dsp, 0.7432, 0.10);
+  EXPECT_NEAR(u.bram36, 0.2282, 0.10);
+  EXPECT_NEAR(u.lut, 0.7124, 0.18);
+  EXPECT_NEAR(u.ff, 0.6177, 0.18);
+  EXPECT_TRUE(dev.fits(est.total));
+}
+
+TEST(TableITest, CifarUsesMoreThanUspsEverywhere) {
+  const DesignEstimate usps = estimate_design(dfc::core::make_usps_spec());
+  const DesignEstimate cifar = estimate_design(dfc::core::make_cifar_spec());
+  EXPECT_GT(cifar.total.lut, usps.total.lut);
+  EXPECT_GT(cifar.total.ff, usps.total.ff);
+  EXPECT_GT(cifar.total.bram36, usps.total.bram36);
+  EXPECT_GT(cifar.total.dsp, usps.total.dsp);
+}
+
+TEST(TableITest, BramStaysSmallThanksToFullBuffering) {
+  // The dataflow design's on-chip memory is line buffers, not frame buffers:
+  // BRAM must be the least-utilized resource class for both designs.
+  const Device dev = virtex7_485t();
+  for (const auto& spec : {dfc::core::make_usps_spec(), dfc::core::make_cifar_spec()}) {
+    const ResourceUsage u = dev.utilization(estimate_design(spec).total);
+    EXPECT_LT(u.bram36, u.dsp);
+    EXPECT_LT(u.bram36, u.lut);
+    EXPECT_LT(u.bram36, u.ff);
+  }
+}
+
+TEST(TableITest, PerLayerBreakdownSumsBelowTotal) {
+  const DesignEstimate est = estimate_design(dfc::core::make_usps_spec());
+  ResourceUsage sum;
+  for (const auto& l : est.per_layer) sum += l;
+  // Total adds calibration and the base design on top of the raw sum.
+  EXPECT_GE(est.total.lut, sum.lut);
+  EXPECT_GE(est.total.dsp, sum.dsp);
+}
+
+TEST(TableITest, UtilizationRowRenders) {
+  const std::string row =
+      utilization_row(dfc::core::make_usps_spec(), virtex7_485t());
+  EXPECT_NE(row.find("DSP"), std::string::npos);
+  EXPECT_NE(row.find('%'), std::string::npos);
+}
+
+// --- Power model ----------------------------------------------------------------
+
+TEST(PowerTest, BiggerDesignBurnsMore) {
+  PowerModel pm;
+  const double usps = pm.estimate_watts(estimate_design(dfc::core::make_usps_spec()).total);
+  const double cifar = pm.estimate_watts(estimate_design(dfc::core::make_cifar_spec()).total);
+  EXPECT_GT(cifar, usps);
+  // Both in the 19-28 W window the paper's efficiency figures imply.
+  EXPECT_GT(usps, 19.0);
+  EXPECT_LT(cifar, 28.0);
+}
+
+TEST(PowerTest, BaseFloorDominatesEmptyDesign) {
+  PowerModel pm;
+  EXPECT_NEAR(pm.estimate_watts(ResourceUsage{}), pm.base_watts, 1e-9);
+}
+
+}  // namespace
+}  // namespace dfc::hw

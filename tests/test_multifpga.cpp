@@ -1,0 +1,194 @@
+// Tests for the multi-FPGA substrate: the inter-board link channel, the
+// partitioner, the multi-device timing model, and functional equivalence of
+// partitioned accelerators.
+#include <gtest/gtest.h>
+
+#include "core/harness.hpp"
+#include "core/presets.hpp"
+#include "dataflow/endpoints.hpp"
+#include "multifpga/partition.hpp"
+#include "report/experiments.hpp"
+
+namespace dfc::mfpga {
+namespace {
+
+using dfc::axis::Flit;
+using dfc::core::LinkChannel;
+using dfc::core::LinkModel;
+using dfc::df::Fifo;
+using dfc::df::SimContext;
+using dfc::df::VectorSink;
+using dfc::df::VectorSource;
+
+std::vector<Flit> flit_ramp(int n) {
+  std::vector<Flit> v;
+  for (int i = 0; i < n; ++i) v.push_back(Flit{static_cast<float>(i), false, i});
+  return v;
+}
+
+TEST(LinkChannelTest, PreservesOrderAndData) {
+  SimContext ctx;
+  auto& in = ctx.add_fifo<Flit>("in", 4);
+  auto& out = ctx.add_fifo<Flit>("out", 4);
+  LinkModel link{10, 2};
+  ctx.add_process<LinkChannel>("link", link, in, out);
+  ctx.add_process<VectorSource<Flit>>("src", in, flit_ramp(50));
+  auto& sink = ctx.add_process<VectorSink<Flit>>("sink", out);
+  ctx.run_until([&] { return sink.count() == 50; }, 100'000);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(sink.tokens()[static_cast<std::size_t>(i)].data, static_cast<float>(i));
+  }
+}
+
+TEST(LinkChannelTest, RateLimitedToCyclesPerWord) {
+  SimContext ctx;
+  auto& in = ctx.add_fifo<Flit>("in", 4);
+  auto& out = ctx.add_fifo<Flit>("out", 4);
+  LinkModel link{8, 4};
+  ctx.add_process<LinkChannel>("link", link, in, out);
+  ctx.add_process<VectorSource<Flit>>("src", in, flit_ramp(30));
+  auto& sink = ctx.add_process<VectorSink<Flit>>("sink", out);
+  ctx.run_until([&] { return sink.count() == 30; }, 100'000);
+  const auto& arr = sink.arrival_cycles();
+  for (std::size_t i = 5; i < arr.size(); ++i) {
+    EXPECT_GE(arr[i] - arr[i - 1], 4u) << "word " << i;
+  }
+}
+
+TEST(LinkChannelTest, AddsTraversalLatency) {
+  SimContext ctx;
+  auto& in = ctx.add_fifo<Flit>("in", 4);
+  auto& direct = ctx.add_fifo<Flit>("direct", 4);
+  auto& out = ctx.add_fifo<Flit>("out", 4);
+  LinkModel link{25, 1};
+  ctx.add_process<LinkChannel>("link", link, in, out);
+  ctx.add_process<VectorSource<Flit>>("src1", in, flit_ramp(5));
+  ctx.add_process<VectorSource<Flit>>("src2", direct, flit_ramp(5));
+  auto& linked = ctx.add_process<VectorSink<Flit>>("s1", out);
+  auto& plain = ctx.add_process<VectorSink<Flit>>("s2", direct);
+  ctx.run_until([&] { return linked.count() == 5 && plain.count() == 5; }, 100'000);
+  // First word through the link arrives ~latency cycles after the direct one.
+  const auto delta = linked.arrival_cycles()[0] - plain.arrival_cycles()[0];
+  EXPECT_GE(delta, 25u);
+  EXPECT_LE(delta, 28u);
+}
+
+TEST(LinkChannelTest, RejectsInvalidModel) {
+  SimContext ctx;
+  auto& in = ctx.add_fifo<Flit>("in", 4);
+  auto& out = ctx.add_fifo<Flit>("out", 4);
+  EXPECT_THROW(ctx.add_process<LinkChannel>("link", LinkModel{0, 1}, in, out), ConfigError);
+}
+
+TEST(UsagePerDeviceTest, SplitsAndAddsBasePerDevice) {
+  const auto spec = dfc::core::make_usps_spec();
+  const std::vector<std::size_t> map{0, 0, 1, 1};
+  const auto usage = usage_per_device(spec, map, 2);
+  const dfc::hw::CostModel cost;
+  // Each hosting device pays one base design.
+  EXPECT_GE(usage[0].bram36, cost.base_design.bram36);
+  EXPECT_GE(usage[1].bram36, cost.base_design.bram36);
+  // conv1 (fully parallel) dominates device 0; conv2 device 1.
+  EXPECT_GT(usage[0].dsp, 700.0);
+  EXPECT_GT(usage[1].dsp, 700.0);
+  // Sum is the single-device total plus one extra base design.
+  const auto single = dfc::hw::estimate_design(spec).total;
+  EXPECT_NEAR(usage[0].dsp + usage[1].dsp, single.dsp + cost.base_design.dsp, 1.0);
+}
+
+TEST(MultiTimingTest, LinkStageAppears) {
+  const auto spec = dfc::core::make_usps_spec();
+  const std::vector<std::size_t> map{0, 0, 1, 1};
+  const LinkModel link{40, 4};
+  const auto est = estimate_multi_timing(spec, map, link);
+  bool found = false;
+  for (const auto& st : est.stages) {
+    if (st.name.find("link") != std::string::npos) {
+      found = true;
+      // Pool output: 6x6x6 = 216 values over 6 ports = 36 words * 4 cy.
+      EXPECT_EQ(st.cycles_per_image, 36 * 4);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MultiTimingTest, SlowLinkBecomesBottleneck) {
+  const auto spec = dfc::core::make_usps_spec();
+  const std::vector<std::size_t> map{0, 0, 1, 1};
+  const LinkModel slow{40, 64};
+  const auto est = estimate_multi_timing(spec, map, slow);
+  // 36 words * 64 = 2304 > every fabric stage.
+  EXPECT_EQ(est.interval_cycles, 36 * 64);
+}
+
+TEST(PartitionTest, UspsDoesNotFitOneKintexButFitsTwo) {
+  const auto spec = dfc::core::make_usps_spec();
+  const auto kintex = dfc::hw::kintex7_325t();
+  EXPECT_THROW(partition_network(spec, {kintex}), ConfigError);
+  const MultiFpgaPlan plan = partition_network(spec, {kintex, kintex});
+  EXPECT_TRUE(plan.fits);
+  EXPECT_EQ(plan.num_devices_used(), 2u);
+  // The DMA ingest (256 cycles) still bounds throughput: partitioning the
+  // USPS design over two small parts loses nothing.
+  EXPECT_EQ(plan.timing.interval_cycles, 256);
+}
+
+TEST(PartitionTest, SingleBigDeviceStaysSingle) {
+  const auto spec = dfc::core::make_usps_spec();
+  const auto virtex = dfc::hw::virtex7_485t();
+  const MultiFpgaPlan plan = partition_network(spec, {virtex, virtex});
+  EXPECT_TRUE(plan.fits);
+  // Same throughput on one device: prefer fewer boards.
+  EXPECT_EQ(plan.num_devices_used(), 1u);
+}
+
+TEST(PartitionTest, DescribeListsMapping) {
+  const auto spec = dfc::core::make_usps_spec();
+  const auto kintex = dfc::hw::kintex7_325t();
+  const MultiFpgaPlan plan = partition_network(spec, {kintex, kintex});
+  const std::string d = plan.describe(spec);
+  EXPECT_NE(d.find("device 0"), std::string::npos);
+  EXPECT_NE(d.find("device 1"), std::string::npos);
+  EXPECT_NE(d.find("fits"), std::string::npos);
+}
+
+TEST(PartitionedAcceleratorTest, MatchesSingleDeviceResults) {
+  dfc::core::Preset preset = dfc::core::make_usps_preset(21);
+  const auto spec = preset.compile_spec();
+
+  dfc::core::AcceleratorHarness single(dfc::core::build_accelerator(spec));
+
+  dfc::core::BuildOptions opts;
+  opts.layer_device = {0, 0, 1, 1};
+  opts.link = LinkModel{40, 4};
+  dfc::core::AcceleratorHarness dual(dfc::core::build_accelerator(spec, opts));
+
+  const auto images = dfc::report::random_images(spec, 6);
+  const auto rs = single.run_batch(images);
+  const auto rd = dual.run_batch(images);
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    for (std::size_t j = 0; j < 10; ++j) {
+      EXPECT_EQ(rs.outputs[i][j], rd.outputs[i][j]) << "image " << i;
+    }
+  }
+  // Crossing the boards adds latency but must not break streaming.
+  EXPECT_GE(rd.image_latency_cycles(0), rs.image_latency_cycles(0));
+}
+
+TEST(PartitionedAcceleratorTest, SimulatedIntervalTracksPlanPrediction) {
+  dfc::core::Preset preset = dfc::core::make_usps_preset(22);
+  const auto spec = preset.compile_spec();
+  const auto kintex = dfc::hw::kintex7_325t();
+  const LinkModel link{40, 4};
+  const MultiFpgaPlan plan = partition_network(spec, {kintex, kintex}, link);
+
+  dfc::core::AcceleratorHarness harness(
+      dfc::core::build_accelerator(spec, build_options_for(plan, link)));
+  const auto images = dfc::report::random_images(spec, 10);
+  const auto r = harness.run_batch(images);
+  const double predicted = static_cast<double>(plan.timing.interval_cycles);
+  EXPECT_NEAR(static_cast<double>(r.steady_interval_cycles()), predicted, 0.1 * predicted);
+}
+
+}  // namespace
+}  // namespace dfc::mfpga

@@ -1,0 +1,105 @@
+// Tests for the fixed-point substrate and quantized network inference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/presets.hpp"
+#include "quant/fixed.hpp"
+#include "quant/quantized_infer.hpp"
+
+namespace dfc::quant {
+namespace {
+
+TEST(FixedFormatTest, RangeAndScale) {
+  FixedFormat fmt{16, 8};
+  fmt.validate();
+  EXPECT_EQ(fmt.max_raw(), 32767);
+  EXPECT_EQ(fmt.min_raw(), -32768);
+  EXPECT_EQ(fmt.scale(), 256.0);
+  EXPECT_EQ(fmt.str(), "Q8.8");
+}
+
+TEST(FixedFormatTest, ValidationRejectsBadFormats) {
+  EXPECT_THROW((FixedFormat{1, 0}).validate(), ConfigError);
+  EXPECT_THROW((FixedFormat{16, 16}).validate(), ConfigError);
+  EXPECT_THROW((FixedFormat{40, 8}).validate(), ConfigError);
+}
+
+TEST(FixedTest, RoundTripWithinHalfLsb) {
+  const FixedFormat fmt{16, 8};
+  for (float v : {0.0f, 1.0f, -1.0f, 0.123f, -3.7f, 100.004f}) {
+    EXPECT_NEAR(Fixed::from_float(v, fmt).to_float(), v, 0.5 / fmt.scale() + 1e-7);
+  }
+}
+
+TEST(FixedTest, SaturatesAtRangeEnds) {
+  const FixedFormat fmt{8, 4};  // range [-8, 7.9375]
+  EXPECT_EQ(Fixed::from_float(100.0f, fmt).raw(), fmt.max_raw());
+  EXPECT_EQ(Fixed::from_float(-100.0f, fmt).raw(), fmt.min_raw());
+  EXPECT_NEAR(Fixed::from_float(100.0f, fmt).to_float(), 7.9375f, 1e-6f);
+}
+
+TEST(FixedTest, AdditionAndSaturation) {
+  const FixedFormat fmt{8, 4};
+  const Fixed a = Fixed::from_float(3.0f, fmt);
+  const Fixed b = Fixed::from_float(2.5f, fmt);
+  EXPECT_NEAR((a + b).to_float(), 5.5f, 1e-6f);
+  const Fixed big = Fixed::from_float(7.0f, fmt);
+  EXPECT_NEAR((big + big).to_float(), 7.9375f, 1e-6f);  // saturated
+}
+
+TEST(FixedTest, MultiplicationRounds) {
+  const FixedFormat fmt{16, 8};
+  const Fixed a = Fixed::from_float(1.5f, fmt);
+  const Fixed b = Fixed::from_float(-2.0f, fmt);
+  EXPECT_NEAR((a * b).to_float(), -3.0f, 1.0 / fmt.scale());
+}
+
+TEST(FixedTest, QuantizeHelperBoundsError) {
+  const FixedFormat fmt{16, 10};
+  for (float v : {0.3217f, -0.9871f, 1.5f}) {
+    EXPECT_LE(std::fabs(quantize(v, fmt) - v), 0.5f / static_cast<float>(fmt.scale()) + 1e-7f);
+  }
+}
+
+TEST(QuantizedInferTest, WeightErrorShrinksWithMoreFracBits) {
+  const auto spec = dfc::core::make_usps_spec();
+  const double e8 = weight_quantization_error(spec, FixedFormat{16, 8});
+  const double e12 = weight_quantization_error(spec, FixedFormat{18, 12});
+  EXPECT_LT(e12, e8);
+  EXPECT_LE(e8, 0.5 / 256.0 + 1e-9);
+}
+
+TEST(QuantizedInferTest, HighPrecisionMatchesFloatClosely) {
+  const auto spec = dfc::core::make_usps_spec(9);
+  const auto preset = dfc::core::make_usps_preset(9);
+  Rng rng(13);
+  Tensor img(spec.input_shape);
+  for (float& v : img.flat()) v = rng.uniform(-1.0f, 1.0f);
+
+  const Tensor fx = fixed_point_infer(spec, img, FixedFormat{24, 16});
+  const Tensor fl = preset.net.infer(img);
+  EXPECT_LT(max_abs_diff(fx, fl), 5e-3);
+}
+
+TEST(QuantizedInferTest, CoarseFormatsDegradeGracefully) {
+  const auto spec = dfc::core::make_usps_spec(9);
+  const auto preset = dfc::core::make_usps_preset(9);
+  Rng rng(17);
+  Tensor img(spec.input_shape);
+  for (float& v : img.flat()) v = rng.uniform(-1.0f, 1.0f);
+
+  const Tensor fl = preset.net.infer(img);
+  const double err16 = max_abs_diff(fixed_point_infer(spec, img, FixedFormat{24, 16}), fl);
+  const double err8 = max_abs_diff(fixed_point_infer(spec, img, FixedFormat{16, 8}), fl);
+  EXPECT_LE(err16, err8 + 1e-9);
+}
+
+TEST(QuantizedInferTest, ShapeMismatchRejected) {
+  const auto spec = dfc::core::make_usps_spec();
+  EXPECT_THROW(fixed_point_infer(spec, Tensor(Shape3{3, 32, 32}), FixedFormat{16, 8}),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace dfc::quant

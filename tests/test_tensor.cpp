@@ -1,0 +1,96 @@
+// Unit tests for the tensor module.
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hpp"
+
+namespace dfc {
+namespace {
+
+TEST(Shape3Test, VolumeAndPlane) {
+  const Shape3 s{3, 4, 5};
+  EXPECT_EQ(s.volume(), 60);
+  EXPECT_EQ(s.plane(), 20);
+  EXPECT_EQ(s.str(), "3x4x5");
+}
+
+TEST(TensorTest, ConstructionFillsValue) {
+  Tensor t(Shape3{2, 3, 3}, 1.5f);
+  EXPECT_EQ(t.size(), 18);
+  for (float v : t.flat()) EXPECT_EQ(v, 1.5f);
+}
+
+TEST(TensorTest, InvalidShapeThrows) {
+  EXPECT_THROW(Tensor(Shape3{0, 3, 3}), ConfigError);
+  EXPECT_THROW(Tensor(Shape3{1, -1, 3}), ConfigError);
+}
+
+TEST(TensorTest, DataSizeMismatchThrows) {
+  EXPECT_THROW(Tensor(Shape3{1, 2, 2}, std::vector<float>{1.0f}), ConfigError);
+}
+
+TEST(TensorTest, ChannelMajorIndexing) {
+  Tensor t(Shape3{2, 2, 2});
+  t.at(0, 0, 0) = 1;
+  t.at(0, 1, 1) = 2;
+  t.at(1, 0, 1) = 3;
+  // CHW layout: index = (c*H + y)*W + x.
+  EXPECT_EQ(t[0], 1.0f);
+  EXPECT_EQ(t[3], 2.0f);
+  EXPECT_EQ(t[5], 3.0f);
+}
+
+TEST(TensorTest, ChannelSpan) {
+  Tensor t(Shape3{2, 2, 2});
+  for (std::int64_t i = 0; i < t.size(); ++i) t[i] = static_cast<float>(i);
+  const auto ch1 = t.channel(1);
+  ASSERT_EQ(ch1.size(), 4u);
+  EXPECT_EQ(ch1[0], 4.0f);
+  EXPECT_EQ(ch1[3], 7.0f);
+}
+
+TEST(TensorTest, Argmax) {
+  Tensor t(Shape3{5, 1, 1});
+  t[3] = 2.0f;
+  t[1] = 1.0f;
+  EXPECT_EQ(t.argmax(), 3);
+}
+
+TEST(TensorTest, ReshapedFlatPreservesData) {
+  Tensor t(Shape3{2, 2, 2});
+  for (std::int64_t i = 0; i < 8; ++i) t[i] = static_cast<float>(i);
+  const Tensor flat = t.reshaped_flat();
+  EXPECT_EQ(flat.shape(), (Shape3{8, 1, 1}));
+  for (std::int64_t i = 0; i < 8; ++i) EXPECT_EQ(flat[i], static_cast<float>(i));
+}
+
+TEST(TensorTest, MaxAbsDiff) {
+  Tensor a(Shape3{1, 2, 2}, 1.0f);
+  Tensor b(Shape3{1, 2, 2}, 1.0f);
+  b.at(0, 1, 0) = 1.25f;
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.25);
+}
+
+TEST(TensorTest, MaxAbsDiffShapeMismatchThrows) {
+  Tensor a(Shape3{1, 2, 2});
+  Tensor b(Shape3{2, 2, 2});
+  EXPECT_THROW(max_abs_diff(a, b), ConfigError);
+}
+
+TEST(TensorTest, TensorsClose) {
+  Tensor a(Shape3{1, 2, 2}, 1.0f);
+  Tensor b = a;
+  EXPECT_TRUE(tensors_close(a, b));
+  b.at(0, 0, 0) += 5e-6f;
+  EXPECT_TRUE(tensors_close(a, b));
+  b.at(0, 0, 0) += 0.1f;
+  EXPECT_FALSE(tensors_close(a, b));
+}
+
+TEST(TensorTest, FillOverwrites) {
+  Tensor t(Shape3{1, 2, 2}, 3.0f);
+  t.fill(-1.0f);
+  for (float v : t.flat()) EXPECT_EQ(v, -1.0f);
+}
+
+}  // namespace
+}  // namespace dfc

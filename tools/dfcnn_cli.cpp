@@ -1,0 +1,158 @@
+// dfcnn — command-line front end to the library.
+//
+// Usage:
+//   dfcnn info      <design>                 describe, resources, timing
+//   dfcnn dot       <design>                 Graphviz block design to stdout
+//   dfcnn simulate  <design> [batch]         cycle-level batch simulation
+//   dfcnn dse       <preset> [device]        automated port-plan exploration
+//   dfcnn partition <design> <boards> [device]  multi-FPGA mapping
+//   dfcnn export    <preset> <out.dfcnn>     save a compiled design artifact
+//
+// <design> is a preset name (usps | cifar | alexnet) or a .dfcnn file saved
+// by `export` / core::save_spec_file. <device> is one of
+// virtex7-485t (default) | virtex7-330t | kintex7-325t.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/block_design.hpp"
+#include "core/harness.hpp"
+#include "core/presets.hpp"
+#include "core/spec_io.hpp"
+#include "dse/explorer.hpp"
+#include "hwmodel/power.hpp"
+#include "multifpga/partition.hpp"
+#include "report/experiments.hpp"
+
+namespace {
+
+using namespace dfc;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: dfcnn <info|dot|simulate|dse|partition|export> <design> [args]\n"
+               "  designs: usps | cifar | alexnet | <path to .dfcnn file>\n"
+               "  devices: virtex7-485t | virtex7-330t | kintex7-325t\n");
+  return 2;
+}
+
+bool is_preset(const std::string& name) {
+  return name == "usps" || name == "cifar" || name == "alexnet";
+}
+
+core::Preset load_preset(const std::string& name) {
+  if (name == "usps") return core::make_usps_preset();
+  if (name == "cifar") return core::make_cifar_preset();
+  if (name == "alexnet") return core::make_alexnet_mini_preset();
+  throw ConfigError("unknown preset '" + name + "'");
+}
+
+core::NetworkSpec load_design(const std::string& name) {
+  if (is_preset(name)) return load_preset(name).compile_spec();
+  return core::load_spec_file(name);
+}
+
+hw::Device load_device(const std::string& name) {
+  if (name == "virtex7-485t" || name.empty()) return hw::virtex7_485t();
+  if (name == "virtex7-330t") return hw::virtex7_330t();
+  if (name == "kintex7-325t") return hw::kintex7_325t();
+  throw ConfigError("unknown device '" + name + "'");
+}
+
+int cmd_info(const core::NetworkSpec& spec) {
+  std::printf("%s\n", spec.describe().c_str());
+  std::printf("%s\n", core::block_design_ascii(spec).c_str());
+  const hw::Device dev = hw::virtex7_485t();
+  const auto est = hw::estimate_design(spec);
+  std::printf("resources: %s\n", est.total.str().c_str());
+  std::printf("%s\n", hw::utilization_row(spec, dev).c_str());
+  const auto timing = dse::estimate_timing(spec);
+  std::printf("predicted interval: %lld cycles/image (%.0f images/s @100 MHz)\n",
+              static_cast<long long>(timing.interval_cycles), timing.images_per_second());
+  const hw::PowerModel power;
+  std::printf("estimated power: %.1f W\n", power.estimate_watts(est.total));
+  return 0;
+}
+
+int cmd_simulate(const core::NetworkSpec& spec, std::size_t batch) {
+  const auto m = report::measure_performance(spec, batch);
+  AsciiTable t({"metric", "value"});
+  t.add_row({"batch", std::to_string(m.batch)});
+  t.add_row({"total cycles", std::to_string(m.total_cycles)});
+  t.add_row({"mean us/image", fmt_fixed(m.mean_us_per_image, 3)});
+  t.add_row({"end-to-end latency (us)", fmt_fixed(m.end_to_end_latency_us, 3)});
+  t.add_row({"steady interval (us)", fmt_fixed(m.steady_interval_us, 3)});
+  t.add_row({"images/s", fmt_fixed(m.images_per_second, 0)});
+  t.add_row({"GFLOPS", fmt_fixed(m.gflops, 2)});
+  t.add_row({"GFLOPS/W", fmt_fixed(m.gflops_per_watt, 2)});
+  std::printf("%s", t.render().c_str());
+  return 0;
+}
+
+int cmd_dse(const std::string& preset_name, const std::string& device_name) {
+  const core::Preset preset = load_preset(preset_name);
+  dse::DseOptions opts;
+  opts.device = load_device(device_name);
+  const dse::DseResult res = dse::explore(preset.net, preset.input_shape, opts);
+  std::printf("evaluated %zu plans, %zu fit %s\n", res.candidates_evaluated,
+              res.candidates_fitting, opts.device.name.c_str());
+  AsciiTable t({"plan (in/out per conv)", "interval (cy)", "images/s", "DSP"});
+  for (const auto& cand : res.pareto) {
+    std::string plan;
+    for (std::size_t i = 0; i < cand.plan.conv.size(); ++i) {
+      if (i) plan += ", ";
+      plan += std::to_string(cand.plan.conv[i].in_ports) + "/" +
+              std::to_string(cand.plan.conv[i].out_ports);
+    }
+    t.add_row({plan, std::to_string(cand.timing.interval_cycles),
+               fmt_fixed(cand.timing.images_per_second(), 0),
+               fmt_fixed(cand.resources.dsp, 0)});
+  }
+  std::printf("%s", t.render().c_str());
+  return 0;
+}
+
+int cmd_partition(const core::NetworkSpec& spec, std::size_t boards,
+                  const std::string& device_name) {
+  const hw::Device dev = load_device(device_name);
+  const std::vector<hw::Device> devices(boards, dev);
+  const auto plan = mfpga::partition_network(spec, devices);
+  std::printf("%s", plan.describe(spec).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  const std::string design = argv[2];
+  try {
+    if (cmd == "info") return cmd_info(load_design(design));
+    if (cmd == "dot") {
+      std::printf("%s", core::block_design_dot(load_design(design)).c_str());
+      return 0;
+    }
+    if (cmd == "simulate") {
+      const std::size_t batch = argc > 3 ? std::stoul(argv[3]) : 32;
+      return cmd_simulate(load_design(design), batch);
+    }
+    if (cmd == "dse") return cmd_dse(design, argc > 3 ? argv[3] : "");
+    if (cmd == "partition") {
+      if (argc < 4) return usage();
+      return cmd_partition(load_design(design), std::stoul(argv[3]),
+                           argc > 4 ? argv[4] : "");
+    }
+    if (cmd == "export") {
+      if (argc < 4 || !is_preset(design)) return usage();
+      core::save_spec_file(load_preset(design).compile_spec(), argv[3]);
+      std::printf("saved %s design to %s\n", design.c_str(), argv[3]);
+      return 0;
+    }
+  } catch (const dfc::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

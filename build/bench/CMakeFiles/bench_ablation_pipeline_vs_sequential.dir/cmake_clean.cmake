@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pipeline_vs_sequential.dir/bench_ablation_pipeline_vs_sequential.cpp.o"
+  "CMakeFiles/bench_ablation_pipeline_vs_sequential.dir/bench_ablation_pipeline_vs_sequential.cpp.o.d"
+  "bench_ablation_pipeline_vs_sequential"
+  "bench_ablation_pipeline_vs_sequential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pipeline_vs_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sst_fused.dir/bench_ablation_sst_fused.cpp.o"
+  "CMakeFiles/bench_ablation_sst_fused.dir/bench_ablation_sst_fused.cpp.o.d"
+  "bench_ablation_sst_fused"
+  "bench_ablation_sst_fused.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sst_fused.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tree_adder.dir/bench_ablation_tree_adder.cpp.o"
+  "CMakeFiles/bench_ablation_tree_adder.dir/bench_ablation_tree_adder.cpp.o.d"
+  "bench_ablation_tree_adder"
+  "bench_ablation_tree_adder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tree_adder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

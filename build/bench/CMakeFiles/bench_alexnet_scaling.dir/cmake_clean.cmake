@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alexnet_scaling.dir/bench_alexnet_scaling.cpp.o"
+  "CMakeFiles/bench_alexnet_scaling.dir/bench_alexnet_scaling.cpp.o.d"
+  "bench_alexnet_scaling"
+  "bench_alexnet_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alexnet_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

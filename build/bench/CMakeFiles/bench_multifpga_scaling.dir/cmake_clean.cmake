@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multifpga_scaling.dir/bench_multifpga_scaling.cpp.o"
+  "CMakeFiles/bench_multifpga_scaling.dir/bench_multifpga_scaling.cpp.o.d"
+  "bench_multifpga_scaling"
+  "bench_multifpga_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multifpga_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_profile_pipeline.dir/bench_profile_pipeline.cpp.o"
+  "CMakeFiles/bench_profile_pipeline.dir/bench_profile_pipeline.cpp.o.d"
+  "bench_profile_pipeline"
+  "bench_profile_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_profile_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_performance.cpp" "bench/CMakeFiles/bench_table2_performance.dir/bench_table2_performance.cpp.o" "gcc" "bench/CMakeFiles/bench_table2_performance.dir/bench_table2_performance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/report/CMakeFiles/dfcnn_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/dfcnn_hwmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dfcnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dfcnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/hlscore/CMakeFiles/dfcnn_hlscore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sst/CMakeFiles/dfcnn_sst.dir/DependInfo.cmake"
+  "/root/repo/build/src/axis/CMakeFiles/dfcnn_axis.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dfcnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/dfcnn_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dfcnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cifar_batch_pipeline.dir/cifar_batch_pipeline.cpp.o"
+  "CMakeFiles/cifar_batch_pipeline.dir/cifar_batch_pipeline.cpp.o.d"
+  "cifar_batch_pipeline"
+  "cifar_batch_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cifar_batch_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_block_design.dir/export_block_design.cpp.o"
+  "CMakeFiles/export_block_design.dir/export_block_design.cpp.o.d"
+  "export_block_design"
+  "export_block_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_block_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

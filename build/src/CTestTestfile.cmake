@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("tensor")
+subdirs("dataflow")
+subdirs("axis")
+subdirs("sst")
+subdirs("hlscore")
+subdirs("nn")
+subdirs("data")
+subdirs("hwmodel")
+subdirs("core")
+subdirs("quant")
+subdirs("dse")
+subdirs("multifpga")
+subdirs("report")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfcnn_axis.dir/flit.cpp.o"
+  "CMakeFiles/dfcnn_axis.dir/flit.cpp.o.d"
+  "libdfcnn_axis.a"
+  "libdfcnn_axis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfcnn_axis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfcnn_common.dir/csv.cpp.o"
+  "CMakeFiles/dfcnn_common.dir/csv.cpp.o.d"
+  "CMakeFiles/dfcnn_common.dir/log.cpp.o"
+  "CMakeFiles/dfcnn_common.dir/log.cpp.o.d"
+  "CMakeFiles/dfcnn_common.dir/table.cpp.o"
+  "CMakeFiles/dfcnn_common.dir/table.cpp.o.d"
+  "libdfcnn_common.a"
+  "libdfcnn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfcnn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/block_design.cpp" "src/core/CMakeFiles/dfcnn_core.dir/block_design.cpp.o" "gcc" "src/core/CMakeFiles/dfcnn_core.dir/block_design.cpp.o.d"
+  "/root/repo/src/core/builder.cpp" "src/core/CMakeFiles/dfcnn_core.dir/builder.cpp.o" "gcc" "src/core/CMakeFiles/dfcnn_core.dir/builder.cpp.o.d"
+  "/root/repo/src/core/compile.cpp" "src/core/CMakeFiles/dfcnn_core.dir/compile.cpp.o" "gcc" "src/core/CMakeFiles/dfcnn_core.dir/compile.cpp.o.d"
+  "/root/repo/src/core/dma.cpp" "src/core/CMakeFiles/dfcnn_core.dir/dma.cpp.o" "gcc" "src/core/CMakeFiles/dfcnn_core.dir/dma.cpp.o.d"
+  "/root/repo/src/core/harness.cpp" "src/core/CMakeFiles/dfcnn_core.dir/harness.cpp.o" "gcc" "src/core/CMakeFiles/dfcnn_core.dir/harness.cpp.o.d"
+  "/root/repo/src/core/link.cpp" "src/core/CMakeFiles/dfcnn_core.dir/link.cpp.o" "gcc" "src/core/CMakeFiles/dfcnn_core.dir/link.cpp.o.d"
+  "/root/repo/src/core/network_spec.cpp" "src/core/CMakeFiles/dfcnn_core.dir/network_spec.cpp.o" "gcc" "src/core/CMakeFiles/dfcnn_core.dir/network_spec.cpp.o.d"
+  "/root/repo/src/core/presets.cpp" "src/core/CMakeFiles/dfcnn_core.dir/presets.cpp.o" "gcc" "src/core/CMakeFiles/dfcnn_core.dir/presets.cpp.o.d"
+  "/root/repo/src/core/spec_io.cpp" "src/core/CMakeFiles/dfcnn_core.dir/spec_io.cpp.o" "gcc" "src/core/CMakeFiles/dfcnn_core.dir/spec_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hlscore/CMakeFiles/dfcnn_hlscore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sst/CMakeFiles/dfcnn_sst.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dfcnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/axis/CMakeFiles/dfcnn_axis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/dfcnn_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dfcnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dfcnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

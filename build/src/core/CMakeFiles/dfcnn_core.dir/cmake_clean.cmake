@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfcnn_core.dir/block_design.cpp.o"
+  "CMakeFiles/dfcnn_core.dir/block_design.cpp.o.d"
+  "CMakeFiles/dfcnn_core.dir/builder.cpp.o"
+  "CMakeFiles/dfcnn_core.dir/builder.cpp.o.d"
+  "CMakeFiles/dfcnn_core.dir/compile.cpp.o"
+  "CMakeFiles/dfcnn_core.dir/compile.cpp.o.d"
+  "CMakeFiles/dfcnn_core.dir/dma.cpp.o"
+  "CMakeFiles/dfcnn_core.dir/dma.cpp.o.d"
+  "CMakeFiles/dfcnn_core.dir/harness.cpp.o"
+  "CMakeFiles/dfcnn_core.dir/harness.cpp.o.d"
+  "CMakeFiles/dfcnn_core.dir/link.cpp.o"
+  "CMakeFiles/dfcnn_core.dir/link.cpp.o.d"
+  "CMakeFiles/dfcnn_core.dir/network_spec.cpp.o"
+  "CMakeFiles/dfcnn_core.dir/network_spec.cpp.o.d"
+  "CMakeFiles/dfcnn_core.dir/presets.cpp.o"
+  "CMakeFiles/dfcnn_core.dir/presets.cpp.o.d"
+  "CMakeFiles/dfcnn_core.dir/spec_io.cpp.o"
+  "CMakeFiles/dfcnn_core.dir/spec_io.cpp.o.d"
+  "libdfcnn_core.a"
+  "libdfcnn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfcnn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

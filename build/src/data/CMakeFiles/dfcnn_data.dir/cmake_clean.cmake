@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfcnn_data.dir/dataset.cpp.o"
+  "CMakeFiles/dfcnn_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/dfcnn_data.dir/idx_loader.cpp.o"
+  "CMakeFiles/dfcnn_data.dir/idx_loader.cpp.o.d"
+  "CMakeFiles/dfcnn_data.dir/synthetic.cpp.o"
+  "CMakeFiles/dfcnn_data.dir/synthetic.cpp.o.d"
+  "libdfcnn_data.a"
+  "libdfcnn_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfcnn_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

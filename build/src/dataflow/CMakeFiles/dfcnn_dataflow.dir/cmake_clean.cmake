@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfcnn_dataflow.dir/sim_context.cpp.o"
+  "CMakeFiles/dfcnn_dataflow.dir/sim_context.cpp.o.d"
+  "libdfcnn_dataflow.a"
+  "libdfcnn_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfcnn_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

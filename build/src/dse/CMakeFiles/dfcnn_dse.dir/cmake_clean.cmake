@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfcnn_dse.dir/explorer.cpp.o"
+  "CMakeFiles/dfcnn_dse.dir/explorer.cpp.o.d"
+  "CMakeFiles/dfcnn_dse.dir/throughput_model.cpp.o"
+  "CMakeFiles/dfcnn_dse.dir/throughput_model.cpp.o.d"
+  "libdfcnn_dse.a"
+  "libdfcnn_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfcnn_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

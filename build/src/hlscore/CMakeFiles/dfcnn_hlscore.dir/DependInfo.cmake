@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hlscore/conv_core.cpp" "src/hlscore/CMakeFiles/dfcnn_hlscore.dir/conv_core.cpp.o" "gcc" "src/hlscore/CMakeFiles/dfcnn_hlscore.dir/conv_core.cpp.o.d"
+  "/root/repo/src/hlscore/fcn_core.cpp" "src/hlscore/CMakeFiles/dfcnn_hlscore.dir/fcn_core.cpp.o" "gcc" "src/hlscore/CMakeFiles/dfcnn_hlscore.dir/fcn_core.cpp.o.d"
+  "/root/repo/src/hlscore/pool_core.cpp" "src/hlscore/CMakeFiles/dfcnn_hlscore.dir/pool_core.cpp.o" "gcc" "src/hlscore/CMakeFiles/dfcnn_hlscore.dir/pool_core.cpp.o.d"
+  "/root/repo/src/hlscore/tree_reduce.cpp" "src/hlscore/CMakeFiles/dfcnn_hlscore.dir/tree_reduce.cpp.o" "gcc" "src/hlscore/CMakeFiles/dfcnn_hlscore.dir/tree_reduce.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sst/CMakeFiles/dfcnn_sst.dir/DependInfo.cmake"
+  "/root/repo/build/src/axis/CMakeFiles/dfcnn_axis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/dfcnn_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dfcnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dfcnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

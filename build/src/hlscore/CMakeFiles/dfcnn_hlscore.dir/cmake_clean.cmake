@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfcnn_hlscore.dir/conv_core.cpp.o"
+  "CMakeFiles/dfcnn_hlscore.dir/conv_core.cpp.o.d"
+  "CMakeFiles/dfcnn_hlscore.dir/fcn_core.cpp.o"
+  "CMakeFiles/dfcnn_hlscore.dir/fcn_core.cpp.o.d"
+  "CMakeFiles/dfcnn_hlscore.dir/pool_core.cpp.o"
+  "CMakeFiles/dfcnn_hlscore.dir/pool_core.cpp.o.d"
+  "CMakeFiles/dfcnn_hlscore.dir/tree_reduce.cpp.o"
+  "CMakeFiles/dfcnn_hlscore.dir/tree_reduce.cpp.o.d"
+  "libdfcnn_hlscore.a"
+  "libdfcnn_hlscore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfcnn_hlscore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

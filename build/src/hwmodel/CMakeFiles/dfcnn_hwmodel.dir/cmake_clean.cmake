@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfcnn_hwmodel.dir/cost_model.cpp.o"
+  "CMakeFiles/dfcnn_hwmodel.dir/cost_model.cpp.o.d"
+  "CMakeFiles/dfcnn_hwmodel.dir/device.cpp.o"
+  "CMakeFiles/dfcnn_hwmodel.dir/device.cpp.o.d"
+  "libdfcnn_hwmodel.a"
+  "libdfcnn_hwmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfcnn_hwmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

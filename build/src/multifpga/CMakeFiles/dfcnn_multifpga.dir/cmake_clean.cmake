@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfcnn_multifpga.dir/partition.cpp.o"
+  "CMakeFiles/dfcnn_multifpga.dir/partition.cpp.o.d"
+  "libdfcnn_multifpga.a"
+  "libdfcnn_multifpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfcnn_multifpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfcnn_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/dfcnn_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/dfcnn_nn.dir/linear.cpp.o"
+  "CMakeFiles/dfcnn_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/dfcnn_nn.dir/pool2d.cpp.o"
+  "CMakeFiles/dfcnn_nn.dir/pool2d.cpp.o.d"
+  "CMakeFiles/dfcnn_nn.dir/sequential.cpp.o"
+  "CMakeFiles/dfcnn_nn.dir/sequential.cpp.o.d"
+  "libdfcnn_nn.a"
+  "libdfcnn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfcnn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

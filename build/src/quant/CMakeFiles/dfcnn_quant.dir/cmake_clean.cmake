@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfcnn_quant.dir/quantized_infer.cpp.o"
+  "CMakeFiles/dfcnn_quant.dir/quantized_infer.cpp.o.d"
+  "libdfcnn_quant.a"
+  "libdfcnn_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfcnn_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

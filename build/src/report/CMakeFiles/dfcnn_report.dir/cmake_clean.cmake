@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfcnn_report.dir/experiments.cpp.o"
+  "CMakeFiles/dfcnn_report.dir/experiments.cpp.o.d"
+  "libdfcnn_report.a"
+  "libdfcnn_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfcnn_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

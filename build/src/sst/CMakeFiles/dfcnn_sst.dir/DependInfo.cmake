@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sst/filter_chain.cpp" "src/sst/CMakeFiles/dfcnn_sst.dir/filter_chain.cpp.o" "gcc" "src/sst/CMakeFiles/dfcnn_sst.dir/filter_chain.cpp.o.d"
+  "/root/repo/src/sst/port_adapters.cpp" "src/sst/CMakeFiles/dfcnn_sst.dir/port_adapters.cpp.o" "gcc" "src/sst/CMakeFiles/dfcnn_sst.dir/port_adapters.cpp.o.d"
+  "/root/repo/src/sst/window_buffer.cpp" "src/sst/CMakeFiles/dfcnn_sst.dir/window_buffer.cpp.o" "gcc" "src/sst/CMakeFiles/dfcnn_sst.dir/window_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/axis/CMakeFiles/dfcnn_axis.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataflow/CMakeFiles/dfcnn_dataflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/dfcnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dfcnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfcnn_sst.dir/filter_chain.cpp.o"
+  "CMakeFiles/dfcnn_sst.dir/filter_chain.cpp.o.d"
+  "CMakeFiles/dfcnn_sst.dir/port_adapters.cpp.o"
+  "CMakeFiles/dfcnn_sst.dir/port_adapters.cpp.o.d"
+  "CMakeFiles/dfcnn_sst.dir/window_buffer.cpp.o"
+  "CMakeFiles/dfcnn_sst.dir/window_buffer.cpp.o.d"
+  "libdfcnn_sst.a"
+  "libdfcnn_sst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfcnn_sst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

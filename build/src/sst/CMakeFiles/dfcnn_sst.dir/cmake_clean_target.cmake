@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdfcnn_sst.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for dfcnn_sst.
+# This may be replaced when dependencies are built.

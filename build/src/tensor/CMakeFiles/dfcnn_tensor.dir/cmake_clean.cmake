@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfcnn_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/dfcnn_tensor.dir/tensor.cpp.o.d"
+  "libdfcnn_tensor.a"
+  "libdfcnn_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfcnn_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

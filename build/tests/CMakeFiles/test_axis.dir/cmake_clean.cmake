@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_axis.dir/test_axis.cpp.o"
+  "CMakeFiles/test_axis.dir/test_axis.cpp.o.d"
+  "test_axis"
+  "test_axis.pdb"
+  "test_axis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_axis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

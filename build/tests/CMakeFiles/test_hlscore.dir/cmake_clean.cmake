@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hlscore.dir/test_hlscore.cpp.o"
+  "CMakeFiles/test_hlscore.dir/test_hlscore.cpp.o.d"
+  "test_hlscore"
+  "test_hlscore.pdb"
+  "test_hlscore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hlscore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

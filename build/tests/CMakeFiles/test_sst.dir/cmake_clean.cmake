@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sst.dir/test_sst.cpp.o"
+  "CMakeFiles/test_sst.dir/test_sst.cpp.o.d"
+  "test_sst"
+  "test_sst.pdb"
+  "test_sst[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

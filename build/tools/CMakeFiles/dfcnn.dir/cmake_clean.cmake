@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfcnn.dir/dfcnn_cli.cpp.o"
+  "CMakeFiles/dfcnn.dir/dfcnn_cli.cpp.o.d"
+  "dfcnn"
+  "dfcnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfcnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -4,6 +4,8 @@
 // simulated steady-state interval, the analytical prediction, and the DSP
 // price of each configuration.
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "common/table.hpp"
 #include "core/harness.hpp"
@@ -11,6 +13,7 @@
 #include "dse/throughput_model.hpp"
 #include "hwmodel/cost_model.hpp"
 #include "report/experiments.hpp"
+#include "report/sweep_runner.hpp"
 
 int main() {
   using namespace dfc;
@@ -33,25 +36,35 @@ int main() {
   AsciiTable t({"plan", "II conv1", "II conv2", "sim interval (cy)", "model (cy)",
                 "DSP estimate", "fits 485t"});
   const hw::Device dev = hw::virtex7_485t();
+
+  // Each plan simulates an independent accelerator; fan the cases out and
+  // assemble the table rows in case order afterwards.
+  std::vector<std::function<std::vector<std::string>()>> jobs;
   for (const auto& c : cases) {
-    core::Preset preset = core::make_usps_preset();
-    preset.plan.conv = {c.conv1, c.conv2};
-    const core::NetworkSpec spec = preset.compile_spec();
+    jobs.push_back([&c, &dev] {
+      core::Preset preset = core::make_usps_preset();
+      preset.plan.conv = {c.conv1, c.conv2};
+      const core::NetworkSpec spec = preset.compile_spec();
 
-    const auto& conv1 = std::get<core::ConvLayerSpec>(spec.layers[0]);
-    const auto& conv2 = std::get<core::ConvLayerSpec>(spec.layers[2]);
+      const auto& conv1 = std::get<core::ConvLayerSpec>(spec.layers[0]);
+      const auto& conv2 = std::get<core::ConvLayerSpec>(spec.layers[2]);
 
-    core::AcceleratorHarness harness(core::build_accelerator(spec));
-    const auto images = report::random_images(spec, 10);
-    const auto r = harness.run_batch(images);
-    const auto analytic = dse::estimate_timing(spec);
-    const auto est = hw::estimate_design(spec);
+      core::AcceleratorHarness harness(core::build_accelerator(spec));
+      const auto images = report::random_images(spec, 10);
+      const auto r = harness.run_batch(images);
+      const auto analytic = dse::estimate_timing(spec);
+      const auto est = hw::estimate_design(spec);
 
-    t.add_row({c.label, std::to_string(conv1.initiation_interval()),
-               std::to_string(conv2.initiation_interval()),
-               std::to_string(r.steady_interval_cycles()),
-               std::to_string(analytic.interval_cycles), fmt_fixed(est.total.dsp, 0),
-               dev.fits(est.total) ? "yes" : "no"});
+      return std::vector<std::string>{
+          c.label, std::to_string(conv1.initiation_interval()),
+          std::to_string(conv2.initiation_interval()),
+          std::to_string(r.steady_interval_cycles()),
+          std::to_string(analytic.interval_cycles), fmt_fixed(est.total.dsp, 0),
+          dev.fits(est.total) ? "yes" : "no"};
+    });
+  }
+  for (const auto& row : report::run_sweep<std::vector<std::string>>(jobs)) {
+    t.add_row(row);
   }
   std::printf("%s\n", t.render().c_str());
   std::printf(

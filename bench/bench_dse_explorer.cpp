@@ -5,10 +5,13 @@
 // smaller part, printing the Pareto frontier (throughput vs DSP usage) and
 // comparing against the paper's hand-picked plans.
 #include <cstdio>
+#include <functional>
+#include <vector>
 
 #include "common/table.hpp"
 #include "core/presets.hpp"
 #include "dse/explorer.hpp"
+#include "report/sweep_runner.hpp"
 
 namespace {
 
@@ -22,25 +25,35 @@ std::string plan_str(const dfc::core::PortPlan& plan) {
   return s;
 }
 
-void explore_network(const dfc::core::Preset& preset, const dfc::hw::Device& device) {
+/// Runs one preset/device exploration and renders its report; returning text
+/// instead of printing keeps the output deterministic when combos run
+/// concurrently.
+std::string explore_network(const dfc::core::Preset& preset, const dfc::hw::Device& device) {
   using namespace dfc;
   dse::DseOptions opts;
   opts.device = device;
-  std::printf("--- %s on %s ---\n", preset.name.c_str(), device.name.c_str());
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line), "--- %s on %s ---\n", preset.name.c_str(),
+                device.name.c_str());
+  out += line;
   try {
     const dse::DseResult res = dse::explore(preset.net, preset.input_shape, opts);
     const auto paper = dse::estimate_timing(preset.compile_spec());
     const auto paper_res = hw::estimate_design(preset.compile_spec()).total;
 
-    std::printf("candidates evaluated: %zu, fitting: %zu\n", res.candidates_evaluated,
-                res.candidates_fitting);
-    std::printf("paper plan : %s -> interval %lld cy, DSP %.0f\n",
-                plan_str(preset.plan).c_str(), static_cast<long long>(paper.interval_cycles),
-                paper_res.dsp);
-    std::printf("DSE best   : %s -> interval %lld cy, DSP %.0f\n",
-                plan_str(res.best.plan).c_str(),
-                static_cast<long long>(res.best.timing.interval_cycles),
-                res.best.resources.dsp);
+    std::snprintf(line, sizeof(line), "candidates evaluated: %zu, fitting: %zu\n",
+                  res.candidates_evaluated, res.candidates_fitting);
+    out += line;
+    std::snprintf(line, sizeof(line), "paper plan : %s -> interval %lld cy, DSP %.0f\n",
+                  plan_str(preset.plan).c_str(),
+                  static_cast<long long>(paper.interval_cycles), paper_res.dsp);
+    out += line;
+    std::snprintf(line, sizeof(line), "DSE best   : %s -> interval %lld cy, DSP %.0f\n",
+                  plan_str(res.best.plan).c_str(),
+                  static_cast<long long>(res.best.timing.interval_cycles),
+                  res.best.resources.dsp);
+    out += line;
 
     AsciiTable t({"pareto plan", "interval (cy)", "images/s", "DSP", "BRAM36"});
     for (const auto& cand : res.pareto) {
@@ -48,10 +61,14 @@ void explore_network(const dfc::core::Preset& preset, const dfc::hw::Device& dev
                  fmt_fixed(cand.timing.images_per_second(), 0),
                  fmt_fixed(cand.resources.dsp, 0), fmt_fixed(cand.resources.bram36, 0)});
     }
-    std::printf("%s\n", t.render().c_str());
+    out += t.render();
+    out += '\n';
   } catch (const ConfigError& e) {
-    std::printf("infeasible: %s\n\n", e.what());
+    out += "infeasible: ";
+    out += e.what();
+    out += "\n\n";
   }
+  return out;
 }
 
 }  // namespace
@@ -63,11 +80,22 @@ int main() {
   const auto usps = core::make_usps_preset();
   const auto cifar = core::make_cifar_preset();
 
-  explore_network(usps, hw::virtex7_485t());
-  explore_network(usps, hw::virtex7_330t());
-  explore_network(usps, hw::kintex7_325t());
-  explore_network(cifar, hw::virtex7_485t());
-  explore_network(cifar, hw::kintex7_325t());
+  const struct {
+    const core::Preset* preset;
+    hw::Device device;
+  } combos[] = {
+      {&usps, hw::virtex7_485t()},  {&usps, hw::virtex7_330t()},
+      {&usps, hw::kintex7_325t()},  {&cifar, hw::virtex7_485t()},
+      {&cifar, hw::kintex7_325t()},
+  };
+
+  std::vector<std::function<std::string()>> jobs;
+  for (const auto& combo : combos) {
+    jobs.push_back([&combo] { return explore_network(*combo.preset, combo.device); });
+  }
+  for (const std::string& section : report::run_sweep<std::string>(jobs)) {
+    std::fputs(section.c_str(), stdout);
+  }
 
   std::printf(
       "Reading: on the paper's device the DSE matches or beats the empirical plans\n"

@@ -36,6 +36,7 @@ int main() {
                  std::to_string(p.total_cycles)});
       csv.row_values(p.batch, p.mean_us_per_image);
     }
+    csv.flush();
     std::printf("%s", t.render().c_str());
     std::printf("  analytic steady-state interval: %.3f us (bottleneck %s)\n",
                 core::cycles_to_us(static_cast<double>(analytic.interval_cycles)),

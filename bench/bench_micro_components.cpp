@@ -1,6 +1,11 @@
 // Microbenchmarks (google-benchmark) of the simulator building blocks: FIFO
 // transfer, window buffer streaming, conv-core cycles, golden convolution,
 // tree reduction, and whole-accelerator simulation throughput.
+//
+// Fixed Iterations(...) keep the smoke-suite cost bounded: these numbers gate
+// order-of-magnitude regressions, not single-percent ones, and letting
+// google-benchmark calibrate (even with MinTime(0.1)) dominated the whole
+// bench suite. Counts are sized for ~10-50 ms per instance on a laptop core.
 #include <benchmark/benchmark.h>
 
 #include "axis/flit.hpp"
@@ -30,7 +35,7 @@ void BM_FifoPushPop(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_FifoPushPop);
+BENCHMARK(BM_FifoPushPop)->Iterations(2'000'000);
 
 void BM_SourceSinkCyclePerToken(benchmark::State& state) {
   dfc::df::SimContext ctx;
@@ -47,7 +52,7 @@ void BM_SourceSinkCyclePerToken(benchmark::State& state) {
   (void)src;
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(tokens.size()));
 }
-BENCHMARK(BM_SourceSinkCyclePerToken);
+BENCHMARK(BM_SourceSinkCyclePerToken)->Iterations(20);
 
 void BM_WindowBufferStream(benchmark::State& state) {
   const dfc::sst::WindowGeometry g{32, 32, 5, 5, 1, 1, 3};
@@ -70,7 +75,7 @@ void BM_WindowBufferStream(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(stream.size()));
 }
-BENCHMARK(BM_WindowBufferStream);
+BENCHMARK(BM_WindowBufferStream)->Iterations(20);
 
 void BM_GoldenConv5x5(benchmark::State& state) {
   dfc::nn::Conv2d conv(3, 12, 5, 5);
@@ -83,7 +88,7 @@ void BM_GoldenConv5x5(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_GoldenConv5x5);
+BENCHMARK(BM_GoldenConv5x5)->Iterations(50);
 
 void BM_TreeReduce(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -95,7 +100,7 @@ void BM_TreeReduce(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_TreeReduce)->Arg(25)->Arg(150)->Arg(900);
+BENCHMARK(BM_TreeReduce)->Arg(25)->Arg(150)->Arg(900)->Iterations(100'000);
 
 void BM_UspsAcceleratorImage(benchmark::State& state) {
   const auto spec = dfc::core::make_usps_spec();
@@ -111,7 +116,7 @@ void BM_UspsAcceleratorImage(benchmark::State& state) {
   state.counters["sim_cycles_per_s"] = benchmark::Counter(
       static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_UspsAcceleratorImage);
+BENCHMARK(BM_UspsAcceleratorImage)->Iterations(20);
 
 void BM_CifarAcceleratorImage(benchmark::State& state) {
   const auto spec = dfc::core::make_cifar_spec();
@@ -127,7 +132,7 @@ void BM_CifarAcceleratorImage(benchmark::State& state) {
   state.counters["sim_cycles_per_s"] = benchmark::Counter(
       static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_CifarAcceleratorImage);
+BENCHMARK(BM_CifarAcceleratorImage)->Iterations(5);
 
 }  // namespace
 

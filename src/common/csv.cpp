@@ -28,7 +28,7 @@ std::string join(const std::vector<std::string>& cells) {
 }  // namespace
 
 CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& columns)
-    : file_(path), has_file_(true), columns_(columns.size()) {
+    : file_(path), path_(path), has_file_(true), columns_(columns.size()) {
   DFC_REQUIRE(file_.good(), "cannot open CSV file: " + path);
   DFC_REQUIRE(columns_ > 0, "CSV needs at least one column");
   emit(join(columns));
@@ -39,7 +39,11 @@ CsvWriter::CsvWriter(const std::vector<std::string>& columns) : columns_(columns
   emit(join(columns));
 }
 
-CsvWriter::~CsvWriter() = default;
+CsvWriter::~CsvWriter() {
+  // Best effort only: a destructor must not throw. Callers that care about
+  // durability (every bench that writes a file) call flush() explicitly.
+  if (has_file_) file_.flush();
+}
 
 void CsvWriter::row(const std::vector<std::string>& cells) {
   DFC_REQUIRE(cells.size() == columns_, "CSV row width mismatch");
@@ -47,9 +51,18 @@ void CsvWriter::row(const std::vector<std::string>& cells) {
   ++rows_;
 }
 
+void CsvWriter::flush() {
+  if (!has_file_) return;
+  file_.flush();
+  DFC_REQUIRE(file_.good(), "CSV flush failed (disk full or unwritable): " + path_);
+}
+
 void CsvWriter::emit(const std::string& line) {
   buffer_ << line << '\n';
-  if (has_file_) file_ << line << '\n';
+  if (has_file_) {
+    file_ << line << '\n';
+    DFC_REQUIRE(file_.good(), "CSV write failed (disk full or unwritable): " + path_);
+  }
 }
 
 }  // namespace dfc

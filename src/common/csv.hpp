@@ -27,6 +27,11 @@ class CsvWriter {
   /// Appends one row; the cell count must match the header.
   void row(const std::vector<std::string>& cells);
 
+  /// Pushes buffered bytes to the file and verifies the stream is healthy.
+  /// Throws ConfigError if any write failed (e.g. disk full, bad path); a
+  /// silently truncated CSV would masquerade as a valid measurement.
+  void flush();
+
   /// Convenience: formats arbitrary streamable values into one row.
   template <typename... Ts>
   void row_values(const Ts&... values) {
@@ -53,6 +58,7 @@ class CsvWriter {
 
   std::ostringstream buffer_;
   std::ofstream file_;
+  std::string path_;
   bool has_file_ = false;
   std::size_t columns_ = 0;
   std::size_t rows_ = 0;

@@ -92,10 +92,15 @@ Accelerator build_accelerator(const NetworkSpec& spec, const BuildOptions& optio
   acc.ctx = std::make_unique<SimContext>();
   SimContext& ctx = *acc.ctx;
 
+  if (options.dma_shared_bus) {
+    acc.bus = std::make_unique<DmaBus>(options.dma_cycles_per_word);
+  }
+
   // DMA input: one 32-bit stream carrying the image channels interleaved.
   auto& dma_in = ctx.add_fifo<Flit>("dma.in", options.stream_fifo_capacity);
   acc.source = &ctx.add_process<DmaSource>("dma.source", dma_in, spec.input_shape,
-                                           options.dma_cycles_per_word);
+                                           options.dma_cycles_per_word, acc.bus.get());
+  if (acc.bus) acc.bus->attach_source(acc.source);
 
   std::vector<Fifo<Flit>*> streams{&dma_in};
   Shape3 shape = spec.input_shape;
@@ -224,7 +229,8 @@ Accelerator build_accelerator(const NetworkSpec& spec, const BuildOptions& optio
   streams = adapt_ports(ctx, "dma", std::move(streams), shape.c, 1,
                         options.stream_fifo_capacity);
   acc.sink = &ctx.add_process<DmaSink>("dma.sink", *streams[0], shape.volume(),
-                                       options.dma_cycles_per_word);
+                                       options.dma_cycles_per_word, acc.bus.get());
+  if (acc.bus) acc.bus->attach_sink(acc.sink);
   return acc;
 }
 

@@ -21,6 +21,11 @@ struct BuildOptions {
   std::size_t window_fifo_capacity = 4;  ///< memory structure -> compute core
   int dma_cycles_per_word = 1;           ///< 1 = 32-bit @ 100 MHz = 400 MB/s
 
+  /// Arbitrate MM2S and S2MM over one shared 400 MB/s datapath with sink
+  /// priority (DESIGN.md §5, the paper's single AXI DMA). `false` gives each
+  /// direction a private channel — 2x the paper's bandwidth — for ablations.
+  bool dma_shared_bus = true;
+
   /// Multi-FPGA mapping: device index per layer (empty = all on device 0).
   /// Wherever consecutive layers sit on different devices, every stream port
   /// crossing the boundary goes through a LinkChannel. The DMA endpoints live
@@ -35,6 +40,7 @@ struct Accelerator {
   std::unique_ptr<dfc::df::SimContext> ctx;
   NetworkSpec spec;
 
+  std::unique_ptr<DmaBus> bus;  ///< shared DMA arbiter (null in private mode)
   DmaSource* source = nullptr;
   DmaSink* sink = nullptr;
 

@@ -1,18 +1,58 @@
 #include "core/dma.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace dfc::core {
 
 using dfc::axis::Flit;
 
+DmaBus::DmaBus(int cycles_per_word) : cycles_per_word_(cycles_per_word) {
+  DFC_REQUIRE(cycles_per_word_ >= 1, "DMA rate must be >= 1 cycle/word");
+}
+
+DmaBus::Grant DmaBus::arbitrate(std::uint64_t now) {
+  if (decided_cycle_ == now) return grant_;
+  decided_cycle_ = now;
+  if (now < next_free_cycle_) {
+    grant_ = Grant::kNone;
+  } else if (sink_ != nullptr && sink_->wants_bus(now)) {
+    grant_ = Grant::kSink;  // output drain has priority over input injection
+  } else if (source_ != nullptr && source_->wants_bus(now)) {
+    grant_ = Grant::kSource;
+  } else {
+    grant_ = Grant::kNone;
+  }
+  return grant_;
+}
+
+bool DmaBus::grant_source(std::uint64_t now) { return arbitrate(now) == Grant::kSource; }
+bool DmaBus::grant_sink(std::uint64_t now) { return arbitrate(now) == Grant::kSink; }
+
+void DmaBus::consume(std::uint64_t now) {
+  DFC_ASSERT(decided_cycle_ == now && grant_ != Grant::kNone,
+             "DmaBus::consume without a grant this cycle");
+  next_free_cycle_ = now + static_cast<std::uint64_t>(cycles_per_word_);
+  ++words_;
+}
+
+void DmaBus::reset() {
+  next_free_cycle_ = 0;
+  decided_cycle_ = ~std::uint64_t{0};
+  grant_ = Grant::kNone;
+  words_ = 0;
+}
+
 DmaSource::DmaSource(std::string name, dfc::df::Fifo<Flit>& out, Shape3 image_shape,
-                     int cycles_per_word)
+                     int cycles_per_word, DmaBus* bus)
     : Process(std::move(name)),
       out_(out),
       image_shape_(image_shape),
-      cycles_per_word_(cycles_per_word) {
+      cycles_per_word_(cycles_per_word),
+      bus_(bus) {
   DFC_REQUIRE(cycles_per_word_ >= 1, "DMA rate must be >= 1 cycle/word");
+  if (bus_ != nullptr) bus_->attach_source(this);
 }
 
 void DmaSource::enqueue(const Tensor& image) {
@@ -21,10 +61,12 @@ void DmaSource::enqueue(const Tensor& image) {
                   image_shape_.str());
   const auto flits = dfc::axis::pack_port_stream(image, 1, 0);
   buffer_.insert(buffer_.end(), flits.begin(), flits.end());
+  notify_external_event();
 }
 
 void DmaSource::on_clock() {
-  if (buffer_.empty() || now() < next_send_cycle_) return;
+  if (!wants_bus(now())) return;
+  if (bus_ != nullptr && !bus_->grant_source(now())) return;
   if (!out_.can_push()) {
     out_.note_full_stall();
     return;
@@ -36,10 +78,20 @@ void DmaSource::on_clock() {
   out_.push(buffer_.front());
   buffer_.pop_front();
   next_send_cycle_ = now() + static_cast<std::uint64_t>(cycles_per_word_);
+  if (bus_ != nullptr) bus_->consume(now());
   if (++words_into_image_ == image_shape_.volume()) {
     words_into_image_ = 0;
     ++images_sent_;
   }
+}
+
+std::uint64_t DmaSource::wake_cycle() const {
+  if (buffer_.empty()) return kNeverWake;
+  // Pacing/bus-busy waits are silent; once due, a full FIFO means a stall is
+  // noted every cycle, which max(..., now) keeps awake.
+  std::uint64_t wake = std::max(next_send_cycle_, now());
+  if (bus_ != nullptr) wake = std::max(wake, bus_->next_free_cycle());
+  return wake;
 }
 
 void DmaSource::reset() {
@@ -49,29 +101,41 @@ void DmaSource::reset() {
   images_started_ = 0;
   images_sent_ = 0;
   inject_cycles_.clear();
+  if (bus_ != nullptr) bus_->reset();
 }
 
 DmaSink::DmaSink(std::string name, dfc::df::Fifo<Flit>& in, std::int64_t values_per_image,
-                 int cycles_per_word)
+                 int cycles_per_word, DmaBus* bus)
     : Process(std::move(name)),
       in_(in),
       values_per_image_(values_per_image),
-      cycles_per_word_(cycles_per_word) {
+      cycles_per_word_(cycles_per_word),
+      bus_(bus) {
   DFC_REQUIRE(values_per_image_ >= 1, "DMA sink needs at least one value per image");
   DFC_REQUIRE(cycles_per_word_ >= 1, "DMA rate must be >= 1 cycle/word");
   current_.reserve(static_cast<std::size_t>(values_per_image_));
+  if (bus_ != nullptr) bus_->attach_sink(this);
 }
 
 void DmaSink::on_clock() {
-  if (now() < next_recv_cycle_ || !in_.can_pop()) return;
+  if (!wants_bus(now())) return;
+  if (bus_ != nullptr && !bus_->grant_sink(now())) return;
   current_.push_back(in_.pop().data);
   next_recv_cycle_ = now() + static_cast<std::uint64_t>(cycles_per_word_);
+  if (bus_ != nullptr) bus_->consume(now());
   if (static_cast<std::int64_t>(current_.size()) == values_per_image_) {
     completion_cycles_.push_back(now());
     outputs_.push_back(std::move(current_));
     current_.clear();
     current_.reserve(static_cast<std::size_t>(values_per_image_));
   }
+}
+
+std::uint64_t DmaSink::wake_cycle() const {
+  if (!in_.can_pop()) return kNeverWake;
+  std::uint64_t wake = std::max(next_recv_cycle_, now());
+  if (bus_ != nullptr) wake = std::max(wake, bus_->next_free_cycle());
+  return wake;
 }
 
 void DmaSink::reset() {

@@ -3,9 +3,14 @@
 // The paper's test harness is a MicroBlaze + AXI DMA + AXI Timer base
 // design; the datapath towards the CNN is 32 bits wide with 400 MB/s
 // available bandwidth, which at the 100 MHz fabric clock is exactly one
-// 32-bit word per cycle in each direction (the AXI DMA has independent
-// MM2S and S2MM channels). Performance measurements include these
-// transfers, as they are interleaved with computation.
+// 32-bit word per cycle. DESIGN.md §5 models this as a *shared* bus: input
+// (MM2S) and output (S2MM) transfers contend for the same 400 MB/s, with the
+// sink given priority (draining results cannot be starved by an endless
+// input stream, matching the paper's measured-with-transfer setup). The
+// legacy private-channel mode (independent 1 word/cycle each way, 2x the
+// paper's bandwidth) remains available behind BuildOptions::dma_shared_bus
+// for ablations. Performance measurements include these transfers, as they
+// are interleaved with computation.
 //
 // DmaSource streams queued images back to back (the batch mode that makes
 // the high-level pipeline pay off); DmaSink collects the classifier outputs
@@ -23,21 +28,78 @@
 
 namespace dfc::core {
 
+class DmaSource;
+class DmaSink;
+
+/// Arbiter for the shared 32-bit DMA datapath. At most one word moves per
+/// `cycles_per_word` cycles across both directions; when both endpoints want
+/// the bus in the same cycle the sink wins.
+///
+/// The grant decision is memoized once per cycle at the first query and is
+/// computed purely from start-of-cycle state (the endpoints' want predicates
+/// read FIFO occupancy and their own pacing registers before either endpoint
+/// has acted), so it is independent of process evaluation order — the same
+/// invariant the two-phase FIFO protocol provides.
+class DmaBus {
+ public:
+  explicit DmaBus(int cycles_per_word);
+
+  void attach_source(const DmaSource* source) { source_ = source; }
+  void attach_sink(const DmaSink* sink) { sink_ = sink; }
+
+  /// True if the source/sink owns the bus in cycle `now`.
+  bool grant_source(std::uint64_t now);
+  bool grant_sink(std::uint64_t now);
+
+  /// Called by the granted endpoint after an actual word transfer; a granted
+  /// endpoint whose FIFO refused the transfer does not consume the slot.
+  void consume(std::uint64_t now);
+
+  /// First cycle at which the bus can move another word (wake hints).
+  std::uint64_t next_free_cycle() const { return next_free_cycle_; }
+
+  std::uint64_t words_transferred() const { return words_; }
+
+  void reset();
+
+ private:
+  enum class Grant { kNone, kSource, kSink };
+  Grant arbitrate(std::uint64_t now);
+
+  int cycles_per_word_;
+  const DmaSource* source_ = nullptr;
+  const DmaSink* sink_ = nullptr;
+  std::uint64_t next_free_cycle_ = 0;
+  std::uint64_t decided_cycle_ = ~std::uint64_t{0};
+  Grant grant_ = Grant::kNone;
+  std::uint64_t words_ = 0;
+};
+
 class DmaSource final : public dfc::df::Process {
  public:
   /// `cycles_per_word` models the available stream bandwidth: 1 is the
   /// paper's setup (32-bit @ 100 MHz = 400 MB/s); larger values throttle the
-  /// channel (e.g. 4 = 100 MB/s) for bandwidth-sensitivity studies.
+  /// channel (e.g. 4 = 100 MB/s) for bandwidth-sensitivity studies. A
+  /// non-null `bus` routes every word over the shared arbiter instead of a
+  /// private channel.
   DmaSource(std::string name, dfc::df::Fifo<dfc::axis::Flit>& out, Shape3 image_shape,
-            int cycles_per_word = 1);
+            int cycles_per_word = 1, DmaBus* bus = nullptr);
 
   void on_clock() override;
   void reset() override;
   bool done() const override { return buffer_.empty(); }
+  std::uint64_t wake_cycle() const override;
+  std::vector<dfc::df::FifoBase*> connected_fifos() const override { return {&out_}; }
 
   /// Queues an image for streaming (CHW tensor, sent pixel-major with
   /// channels interleaved — the single-port stream format).
   void enqueue(const Tensor& image);
+
+  /// True if the source has a word ready for the bus this cycle (pacing and
+  /// buffered data; FIFO backpressure is resolved after the grant).
+  bool wants_bus(std::uint64_t now) const {
+    return !buffer_.empty() && now >= next_send_cycle_;
+  }
 
   std::uint64_t images_started() const { return images_started_; }
   std::uint64_t images_sent() const { return images_sent_; }
@@ -49,6 +111,7 @@ class DmaSource final : public dfc::df::Process {
   dfc::df::Fifo<dfc::axis::Flit>& out_;
   Shape3 image_shape_;
   int cycles_per_word_;
+  DmaBus* bus_;
   std::uint64_t next_send_cycle_ = 0;
   std::deque<dfc::axis::Flit> buffer_;
   std::int64_t words_into_image_ = 0;
@@ -60,10 +123,16 @@ class DmaSource final : public dfc::df::Process {
 class DmaSink final : public dfc::df::Process {
  public:
   DmaSink(std::string name, dfc::df::Fifo<dfc::axis::Flit>& in, std::int64_t values_per_image,
-          int cycles_per_word = 1);
+          int cycles_per_word = 1, DmaBus* bus = nullptr);
 
   void on_clock() override;
   void reset() override;
+  std::uint64_t wake_cycle() const override;
+  std::vector<dfc::df::FifoBase*> connected_fifos() const override { return {&in_}; }
+
+  bool wants_bus(std::uint64_t now) const {
+    return now >= next_recv_cycle_ && in_.can_pop();
+  }
 
   std::uint64_t images_completed() const { return completion_cycles_.size(); }
 
@@ -77,6 +146,7 @@ class DmaSink final : public dfc::df::Process {
   dfc::df::Fifo<dfc::axis::Flit>& in_;
   std::int64_t values_per_image_;
   int cycles_per_word_;
+  DmaBus* bus_;
   std::uint64_t next_recv_cycle_ = 0;
   std::vector<float> current_;
   std::vector<std::uint64_t> completion_cycles_;

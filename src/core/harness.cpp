@@ -6,10 +6,25 @@
 
 namespace dfc::core {
 
+std::vector<std::uint64_t> BatchResult::completion_intervals() const {
+  std::vector<std::uint64_t> intervals;
+  if (completion_cycles.size() < 2) return intervals;
+  intervals.reserve(completion_cycles.size() - 1);
+  for (std::size_t i = 1; i < completion_cycles.size(); ++i) {
+    intervals.push_back(completion_cycles[i] - completion_cycles[i - 1]);
+  }
+  return intervals;
+}
+
 std::uint64_t BatchResult::steady_interval_cycles() const {
   DFC_REQUIRE(completion_cycles.size() >= 2, "steady interval needs a batch of >= 2 images");
-  const std::size_t n = completion_cycles.size();
-  return completion_cycles[n - 1] - completion_cycles[n - 2];
+  std::vector<std::uint64_t> intervals = completion_intervals();
+  const std::size_t k = std::min<std::size_t>(8, intervals.size());
+  std::vector<std::uint64_t> tail(intervals.end() - static_cast<std::ptrdiff_t>(k),
+                                  intervals.end());
+  std::sort(tail.begin(), tail.end());
+  if (k % 2 == 1) return tail[k / 2];
+  return (tail[k / 2 - 1] + tail[k / 2]) / 2;
 }
 
 std::int64_t BatchResult::predicted_class(std::size_t i) const {
@@ -57,6 +72,12 @@ std::vector<float> AcceleratorHarness::run_image(const Tensor& image) {
   return run_batch({image}).outputs.front();
 }
 
-void AcceleratorHarness::reset() { acc_.ctx->reset(); }
+void AcceleratorHarness::reset() {
+  acc_.ctx->reset();
+  // Each run is an independent measurement: without this, FIFO occupancy and
+  // stall statistics accumulate across batches and every report after the
+  // first describes a mixture of runs.
+  acc_.ctx->reset_fifo_stats();
+}
 
 }  // namespace dfc::core

@@ -45,8 +45,15 @@ struct BatchResult {
     return completion_cycles.at(i) - inject_cycles.at(i);
   }
 
-  /// Steady-state initiation interval: cycles between the completions of the
-  /// last two images (meaningful for batch_size >= 2).
+  /// Completion-to-completion intervals: element i is the gap between the
+  /// completions of images i and i+1 (size batch_size() - 1).
+  std::vector<std::uint64_t> completion_intervals() const;
+
+  /// Steady-state initiation interval: the median of the trailing
+  /// min(8, batch_size - 1) completion intervals (meaningful for
+  /// batch_size >= 2). The median rejects one-off hiccups — e.g. a FIFO
+  /// refill after a drain — that a single last-two-completions difference
+  /// would report as the steady rate.
   std::uint64_t steady_interval_cycles() const;
 
   /// Predicted class of image i (argmax over its logits).

@@ -31,6 +31,19 @@ void LinkChannel::on_clock() {
   }
 }
 
+std::uint64_t LinkChannel::wake_cycle() const {
+  std::uint64_t wake = kNeverWake;
+  // Forward side: the head word becomes deliverable at its ready_cycle; once
+  // ready, a full output FIFO means a stall is noted every cycle (stay awake).
+  if (!in_flight_.empty()) wake = std::max(in_flight_.front().ready_cycle, now());
+  // Accept side: nothing to do without input or wire slots (a freed slot
+  // implies forward progress, which the forward side already schedules).
+  if (in_.can_pop() && in_flight_.size() < in_flight_limit_) {
+    wake = std::min(wake, std::max(next_accept_cycle_, now()));
+  }
+  return wake;
+}
+
 void LinkChannel::reset() {
   in_flight_.clear();
   next_accept_cycle_ = 0;

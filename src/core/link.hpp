@@ -35,6 +35,8 @@ class LinkChannel final : public dfc::df::Process {
   void on_clock() override;
   void reset() override;
   bool done() const override { return in_flight_.empty(); }
+  std::uint64_t wake_cycle() const override;
+  std::vector<dfc::df::FifoBase*> connected_fifos() const override { return {&in_, &out_}; }
 
   std::uint64_t words_transferred() const { return words_; }
 

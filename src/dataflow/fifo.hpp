@@ -18,11 +18,15 @@
 #include <cstdint>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/ring_buffer.hpp"
 
 namespace dfc::df {
+
+class Process;
+class SimContext;
 
 /// Occupancy and traffic statistics of one FIFO, for reports and tests.
 struct FifoStats {
@@ -45,7 +49,17 @@ class FifoBase {
 
   const std::string& name() const { return name_; }
   std::size_t capacity() const { return capacity_; }
+
+  /// Statistics since construction or the last reset_stats() call — the
+  /// per-measurement (e.g. per-batch) view.
   const FifoStats& stats() const { return stats_; }
+
+  /// Statistics since construction, never cleared; the deadlock reporter uses
+  /// these so a dump stays meaningful across harness resets.
+  const FifoStats& lifetime_stats() const { return lifetime_; }
+
+  /// Zeroes the per-measurement statistics (lifetime_stats() is kept).
+  void reset_stats() { stats_ = FifoStats{}; }
 
   /// Visible (start-of-cycle) occupancy.
   virtual std::size_t size() const = 0;
@@ -58,9 +72,28 @@ class FifoBase {
   virtual void reset() = 0;
 
  protected:
+  /// Registers this FIFO on its context's dirty list the first time it sees a
+  /// push or pop in the current cycle, so the scheduler only commits FIFOs
+  /// that actually moved data. FIFOs outside a SimContext (unit tests) have
+  /// no dirty list and are unaffected.
+  void mark_pending() {
+    if (!pending_commit_) {
+      pending_commit_ = true;
+      if (dirty_list_ != nullptr) dirty_list_->push_back(this);
+    }
+  }
+
   std::string name_;
   std::size_t capacity_;
   FifoStats stats_;
+  FifoStats lifetime_;
+
+ private:
+  friend class SimContext;
+  /// Owned by the registering SimContext: commit queue + wakeup targets.
+  std::vector<FifoBase*>* dirty_list_ = nullptr;
+  std::vector<Process*> watchers_;
+  bool pending_commit_ = false;
 };
 
 template <typename T>
@@ -92,6 +125,8 @@ class Fifo final : public FifoBase {
     DFC_ASSERT(can_pop(), "Fifo::pop without can_pop: " + name_);
     popped_this_cycle_ = true;
     ++stats_.pops;
+    ++lifetime_.pops;
+    mark_pending();
     return items_.pop();
   }
 
@@ -103,10 +138,15 @@ class Fifo final : public FifoBase {
     pending_ = std::move(value);
     pending_count_ = 1;
     ++stats_.pushes;
+    ++lifetime_.pushes;
+    mark_pending();
   }
 
   /// Records that a producer wanted to push but could not (for stall stats).
-  void note_full_stall() { ++stats_.full_stall_cycles; }
+  void note_full_stall() {
+    ++stats_.full_stall_cycles;
+    ++lifetime_.full_stall_cycles;
+  }
 
   std::size_t size() const override { return items_.size() + pending_count_; }
 
@@ -116,7 +156,9 @@ class Fifo final : public FifoBase {
       items_.push(std::move(pending_));
       pending_count_ = 0;
     }
-    stats_.max_occupancy = std::max(stats_.max_occupancy, items_.size());
+    const std::size_t occ = items_.size();
+    stats_.max_occupancy = std::max(stats_.max_occupancy, occ);
+    lifetime_.max_occupancy = std::max(lifetime_.max_occupancy, occ);
     pushed_this_cycle_ = false;
     popped_this_cycle_ = false;
     return active;

@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace dfc::df {
 
+class FifoBase;
 class SimContext;
 
 /// A clocked module. on_clock() runs once per cycle in phase 1 and may
@@ -29,17 +31,56 @@ class Process {
   /// the current workload; used for end-of-simulation detection in tests.
   virtual bool done() const { return true; }
 
+  /// Sentinel wake_cycle(): nothing to do until a connected FIFO moves data.
+  static constexpr std::uint64_t kNeverWake = ~std::uint64_t{0};
+
+  /// Scheduling hint for SimContext's activity-aware mode: the earliest cycle
+  /// at which on_clock() could do anything observable, assuming none of
+  /// connected_fifos() transfers data in the meantime.
+  ///
+  /// Contract: for every cycle t with now() <= t < wake_cycle(), and provided
+  /// no connected FIFO commits a push or pop between the call and t,
+  /// on_clock() at t must be a complete no-op — no FIFO push/pop, no
+  /// note_full_stall(), no stall-counter or other internal state change.
+  /// States that record per-cycle side effects (stall accounting) must
+  /// therefore return now(). The default (0) means "always awake", which is
+  /// trivially correct.
+  virtual std::uint64_t wake_cycle() const { return 0; }
+
+  /// The FIFOs whose transfers can change this process's behaviour (all
+  /// inputs and outputs it touches). A non-empty list opts the process into
+  /// scheduler skipping: it is then only run when a listed FIFO committed a
+  /// transfer since its last run or wake_cycle() is due. The default (empty)
+  /// keeps the process always awake.
+  virtual std::vector<FifoBase*> connected_fifos() const { return {}; }
+
   const std::string& name() const { return name_; }
 
   /// Current cycle, valid once the process is registered with a context.
   std::uint64_t now() const;
 
  protected:
+  /// Must be called after mutating process state from outside on_clock()
+  /// (e.g. a host-side enqueue) so the scheduler re-evaluates wake_cycle()
+  /// instead of trusting the value cached at the last run.
+  void notify_external_event() { sched_event_ = true; }
+
   friend class SimContext;
   SimContext* ctx_ = nullptr;
 
  private:
   std::string name_;
+
+  // Activity-aware scheduler bookkeeping, maintained by SimContext. The wake
+  // cache is evaluated lazily: a busy process (event flag raised every cycle
+  // by its FIFO commits) never pays for wake_cycle() at all; the first
+  // event-free cycle computes and caches it, and the cache stays valid until
+  // the process runs again (no event means the state it derives from is
+  // untouched).
+  bool sched_skippable_ = false;    ///< connected_fifos() non-empty
+  bool sched_event_ = true;         ///< connected-FIFO transfer since last run
+  bool sched_wake_valid_ = false;   ///< sched_wake_ holds a current hint
+  std::uint64_t sched_wake_ = 0;    ///< lazily cached wake_cycle()
 };
 
 }  // namespace dfc::df

@@ -7,11 +7,27 @@
 //            only become visible at commit);
 //   phase 2: every FIFO commits.
 //
+// Activity-aware mode (the default) keeps those semantics bit-identical but
+// skips provably idle work:
+//   * phase 1 skips processes that declared connected_fifos() and whose
+//     cached wake_cycle() has not arrived while none of their FIFOs moved
+//     data since their last run;
+//   * phase 2 commits only FIFOs that saw a push or pop this cycle (a commit
+//     on an idle FIFO is an idempotent no-op);
+//   * after a cycle with zero FIFO activity, fast_forward() jumps the clock
+//     straight to the earliest cached wake instead of stepping through dead
+//     cycles (drains, throttled DMA, pipeline latency bubbles).
+// set_paranoid(true) runs the naive loop while asserting every skip decision
+// the activity-aware scheduler would have made — the lockstep equivalence
+// check used by tests; set_activity_aware(false) selects the plain naive
+// loop.
+//
 // A watchdog detects deadlocks/livelocks: if no FIFO transfers at all for
 // `idle_limit` consecutive cycles while a run_until predicate is still
 // unsatisfied, the context throws SimError with an occupancy dump — this
 // catches mis-sized FIFOs and protocol bugs the same way a hung HLS cosim
-// would.
+// would. fast_forward() accounts jumped cycles as idle, so the watchdog and
+// cycle budget fire at exactly the same cycle as under the naive loop.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +46,13 @@ class SimContext {
  public:
   SimContext() = default;
 
+  // Fifo/Process registration hands out stable pointers into this context
+  // (dirty lists, watcher lists), so the context must never move.
+  SimContext(const SimContext&) = delete;
+  SimContext& operator=(const SimContext&) = delete;
+  SimContext(SimContext&&) = delete;
+  SimContext& operator=(SimContext&&) = delete;
+
   /// Constructs a process of type P in place and registers it.
   template <typename P, typename... Args>
   P& add_process(Args&&... args) {
@@ -37,6 +60,7 @@ class SimContext {
     P& ref = *owned;
     ref.ctx_ = this;
     processes_.push_back(std::move(owned));
+    schedule_prepared_ = false;
     return ref;
   }
 
@@ -45,7 +69,9 @@ class SimContext {
   Fifo<T>& add_fifo(std::string name, std::size_t capacity) {
     auto owned = std::make_unique<Fifo<T>>(std::move(name), capacity);
     Fifo<T>& ref = *owned;
+    ref.dirty_list_ = &dirty_fifos_;
     fifos_.push_back(std::move(owned));
+    schedule_prepared_ = false;
     return ref;
   }
 
@@ -54,19 +80,51 @@ class SimContext {
 
   /// Runs until `finished()` returns true; returns cycles elapsed during this
   /// call. Throws SimError on deadlock or when `max_cycles` is exceeded.
+  /// `finished` must be a pure function of simulation state (processes and
+  /// FIFOs): in activity-aware mode it is not evaluated inside fast-forwarded
+  /// idle windows, where that state provably cannot change.
   std::uint64_t run_until(const std::function<bool()>& finished,
                           std::uint64_t max_cycles = kDefaultMaxCycles);
+
+  /// If the last step() had no FIFO activity and every process is skippable
+  /// and quiescent, jumps the clock to the earliest cached wake_cycle()
+  /// (clamped to `limit_cycle` and to the idle watchdog threshold), counting
+  /// the jumped cycles as idle. Returns the number of cycles jumped (0 when
+  /// no jump is possible). run_until() calls this automatically.
+  std::uint64_t fast_forward(std::uint64_t limit_cycle = Process::kNeverWake);
 
   /// Current simulation time in cycles since construction/reset.
   std::uint64_t cycle() const { return cycle_; }
 
   /// Clears all FIFOs, resets all processes, and rewinds the clock.
+  /// FIFO statistics are kept (see reset_fifo_stats()).
   void reset();
+
+  /// Zeroes the per-measurement statistics of every FIFO (lifetime stats are
+  /// kept for the deadlock reporter). Harnesses call this between batches.
+  void reset_fifo_stats();
+
+  /// Selects between the activity-aware scheduler (default) and the naive
+  /// run-everything loop. Results are bit-identical either way.
+  void set_activity_aware(bool on) { activity_aware_ = on; }
+  bool activity_aware() const { return activity_aware_; }
+
+  /// Lockstep checking mode: steps with the naive loop but asserts that every
+  /// process the activity-aware scheduler would have skipped performs no FIFO
+  /// operation (push/pop/stall) and that dirty tracking matches commit
+  /// activity. Throws InternalError on any violation. Slow; for tests.
+  void set_paranoid(bool on) { paranoid_ = on; }
+  bool paranoid() const { return paranoid_; }
 
   std::size_t process_count() const { return processes_.size(); }
   std::size_t fifo_count() const { return fifos_.size(); }
 
-  /// Multi-line occupancy report of every FIFO (for diagnostics).
+  /// Read-only view of FIFO i in registration order (stats comparisons in
+  /// tests and reports).
+  const FifoBase& fifo(std::size_t i) const { return *fifos_.at(i); }
+
+  /// Multi-line occupancy report of every FIFO (for diagnostics). Reports
+  /// lifetime statistics so the numbers survive harness resets.
   std::string fifo_report() const;
 
   /// Cycles with zero FIFO activity tolerated before declaring deadlock.
@@ -75,11 +133,23 @@ class SimContext {
   static constexpr std::uint64_t kDefaultMaxCycles = 2'000'000'000ULL;
 
  private:
+  void prepare_schedule();
+  void step_naive();
+  void step_active();
+  void step_checked();
+  void finish_cycle(bool any_activity);
+  [[noreturn]] void throw_deadlock() const;
+  std::uint64_t total_fifo_side_effects() const;
+
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<std::unique_ptr<FifoBase>> fifos_;
+  std::vector<FifoBase*> dirty_fifos_;  ///< FIFOs with a push/pop this cycle
   std::uint64_t cycle_ = 0;
   std::uint64_t idle_cycles_ = 0;
   std::uint64_t idle_limit_ = 100'000;
+  bool activity_aware_ = true;
+  bool paranoid_ = false;
+  bool schedule_prepared_ = false;
 };
 
 }  // namespace dfc::df

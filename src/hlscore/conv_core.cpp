@@ -148,6 +148,36 @@ void ConvCore::try_gather() {
   }
 }
 
+std::uint64_t ConvCore::wake_cycle() const {
+  std::uint64_t wake = kNeverWake;
+  // Emit side: the head position becomes emittable at its ready_cycle; once
+  // ready, a blocked output port notes a stall every cycle (stay awake).
+  if (!in_flight_.empty()) wake = std::max(in_flight_.front().ready_cycle, now());
+  // Gather side: a completing beat with no free pipeline slot counts a
+  // gather stall every cycle regardless of window availability — that state
+  // must stay awake. Otherwise the core only acts when every window port has
+  // data.
+  const bool completing = (group_ == cfg_.gather_beats() - 1);
+  if (completing && in_flight_.size() >= in_flight_limit_) return now();
+  bool windows_ready = true;
+  for (const auto* port : win_in_) {
+    if (!port->can_pop()) {
+      windows_ready = false;
+      break;
+    }
+  }
+  if (windows_ready) return now();
+  return wake;
+}
+
+std::vector<dfc::df::FifoBase*> ConvCore::connected_fifos() const {
+  std::vector<dfc::df::FifoBase*> fifos;
+  fifos.reserve(win_in_.size() + out_.size());
+  for (auto* f : win_in_) fifos.push_back(f);
+  for (auto* f : out_) fifos.push_back(f);
+  return fifos;
+}
+
 void ConvCore::reset() {
   group_ = 0;
   position_in_image_ = 0;

@@ -77,6 +77,8 @@ class ConvCore final : public dfc::df::Process {
   void on_clock() override;
   void reset() override;
   bool done() const override { return in_flight_.empty() && group_ == 0; }
+  std::uint64_t wake_cycle() const override;
+  std::vector<dfc::df::FifoBase*> connected_fifos() const override;
 
   const ConvCoreConfig& config() const { return cfg_; }
   std::uint64_t positions_completed() const { return positions_completed_; }

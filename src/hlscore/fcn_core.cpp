@@ -111,6 +111,20 @@ void FcnCore::try_accumulate() {
   ++images_completed_;
 }
 
+std::uint64_t FcnCore::wake_cycle() const {
+  std::uint64_t wake = kNeverWake;
+  if (!in_flight_.empty()) wake = std::max(in_flight_.front().ready_cycle, now());
+  // Accumulate side: with input available the core either consumes it, waits
+  // on a busy lane (counting a lane stall every cycle), or — when completing
+  // with a full drain pipeline — waits silently on emission, which the emit
+  // wake above already schedules.
+  if (in_.can_pop()) {
+    const bool completing = (input_index_ == cfg_.in_count - 1);
+    if (!(completing && in_flight_.size() >= in_flight_limit_)) wake = now();
+  }
+  return wake;
+}
+
 void FcnCore::reset() {
   input_index_ = 0;
   in_flight_.clear();

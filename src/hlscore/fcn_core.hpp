@@ -62,6 +62,8 @@ class FcnCore final : public dfc::df::Process {
   void on_clock() override;
   void reset() override;
   bool done() const override { return in_flight_.empty() && input_index_ == 0; }
+  std::uint64_t wake_cycle() const override;
+  std::vector<dfc::df::FifoBase*> connected_fifos() const override { return {&in_, &out_}; }
 
   const FcnCoreConfig& config() const { return cfg_; }
   std::uint64_t images_completed() const { return images_completed_; }

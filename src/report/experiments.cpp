@@ -1,8 +1,10 @@
 #include "report/experiments.hpp"
 
 #include <algorithm>
+#include <functional>
 
 #include "common/rng.hpp"
+#include "report/sweep_runner.hpp"
 
 namespace dfc::report {
 
@@ -54,20 +56,26 @@ namespace {
 std::vector<BatchPoint> sweep_impl(const NetworkSpec& spec,
                                    const std::vector<std::size_t>& batches,
                                    std::uint64_t seed, bool sequential) {
-  AcceleratorHarness harness(dfc::core::build_accelerator(spec));
-  std::vector<BatchPoint> points;
-  points.reserve(batches.size());
   std::size_t max_batch = 0;
   for (std::size_t b : batches) max_batch = std::max(max_batch, b);
   const auto images = random_images(spec, max_batch, seed);
+
+  // Each point simulates an independent accelerator instance, so the sweep
+  // fans out across cores; images are shared read-only.
+  std::vector<std::function<BatchPoint()>> jobs;
+  jobs.reserve(batches.size());
   for (std::size_t b : batches) {
-    const std::vector<Tensor> slice(images.begin(),
-                                    images.begin() + static_cast<std::ptrdiff_t>(b));
-    const BatchResult r = sequential ? harness.run_sequential(slice) : harness.run_batch(slice);
-    points.push_back(BatchPoint{b, dfc::core::cycles_to_us(r.mean_cycles_per_image()),
-                                r.total_cycles()});
+    jobs.push_back([&spec, &images, b, sequential] {
+      AcceleratorHarness harness(dfc::core::build_accelerator(spec));
+      const std::vector<Tensor> slice(images.begin(),
+                                      images.begin() + static_cast<std::ptrdiff_t>(b));
+      const BatchResult r =
+          sequential ? harness.run_sequential(slice) : harness.run_batch(slice);
+      return BatchPoint{b, dfc::core::cycles_to_us(r.mean_cycles_per_image()),
+                        r.total_cycles()};
+    });
   }
-  return points;
+  return run_sweep<BatchPoint>(jobs);
 }
 }  // namespace
 

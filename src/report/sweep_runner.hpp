@@ -1,0 +1,45 @@
+// Parallel sweep runner for independent measurement points.
+//
+// Every bench sweep (Fig. 6 batch sizes, port-scaling ablations, DSE
+// candidates) simulates several configurations that share no state: each
+// point builds its own Accelerator, hence its own SimContext, processes and
+// FIFOs. run_sweep executes such jobs on a thread pool and returns the
+// results in job order, so bench output is byte-identical to a sequential
+// run — only the wall clock changes.
+//
+// Thread count: explicit argument > DFCNN_SWEEP_THREADS env var >
+// std::thread::hardware_concurrency(). Set DFCNN_SWEEP_THREADS=1 to force
+// sequential execution (e.g. when profiling a single simulation).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace dfc::report {
+
+/// Worker count used when run_sweep's `threads` argument is 0.
+std::size_t sweep_thread_count();
+
+namespace detail {
+/// Runs body(i) for every i in [0, count) on `threads` workers (0 = auto).
+/// Exceptions are captured per index and, after all workers have joined, the
+/// lowest-index one is rethrown — again matching sequential behaviour.
+void run_indexed(std::size_t count, std::size_t threads,
+                 const std::function<void(std::size_t)>& body);
+}  // namespace detail
+
+/// Executes independent jobs concurrently; result i is jobs[i]'s return
+/// value. Each job must be self-contained (build its own accelerator — a
+/// SimContext must never be shared across sweep points), which makes the
+/// results deterministic regardless of scheduling.
+template <typename R>
+std::vector<R> run_sweep(const std::vector<std::function<R()>>& jobs,
+                         std::size_t threads = 0) {
+  std::vector<R> results(jobs.size());
+  detail::run_indexed(jobs.size(), threads,
+                      [&](std::size_t i) { results[i] = jobs[i](); });
+  return results;
+}
+
+}  // namespace dfc::report

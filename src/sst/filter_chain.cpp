@@ -79,6 +79,24 @@ void WindowAssembler::on_clock() {
   advance_position();
 }
 
+std::uint64_t WindowAssembler::wake_cycle() const {
+  // A full output is checked before the taps and stalls every cycle; with
+  // room, the blocking read only proceeds once every tap channel has data.
+  if (!out_.can_push()) return now();
+  for (const auto* tap : taps_) {
+    if (!tap->can_pop()) return kNeverWake;
+  }
+  return now();
+}
+
+std::vector<dfc::df::FifoBase*> WindowAssembler::connected_fifos() const {
+  std::vector<dfc::df::FifoBase*> fifos;
+  fifos.reserve(taps_.size() + 1);
+  for (auto* f : taps_) fifos.push_back(f);
+  fifos.push_back(&out_);
+  return fifos;
+}
+
 void WindowAssembler::advance_position() {
   if (++cur_slot_ < geom_.channels) return;
   cur_slot_ = 0;

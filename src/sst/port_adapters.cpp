@@ -25,11 +25,32 @@ void PortDemux::on_clock() {
   if (++slot_ == group_) slot_ = 0;
 }
 
+std::vector<dfc::df::FifoBase*> PortDemux::connected_fifos() const {
+  std::vector<dfc::df::FifoBase*> fifos{&in_};
+  for (auto* f : outs_) fifos.push_back(f);
+  return fifos;
+}
+
 PortMerge::PortMerge(std::string name, std::int64_t rounds,
                      std::vector<dfc::df::Fifo<Flit>*> ins, dfc::df::Fifo<Flit>& out)
     : Process(std::move(name)), rounds_(rounds), ins_(std::move(ins)), out_(out) {
   DFC_REQUIRE(!ins_.empty(), "PortMerge needs at least one input");
   DFC_REQUIRE(rounds_ >= 1, "PortMerge rounds must be >= 1");
+}
+
+std::uint64_t PortMerge::wake_cycle() const {
+  // A full output is checked before the input and stalls every cycle; with
+  // room, the merge only acts once the current port has data.
+  if (!out_.can_push()) return now();
+  return ins_[static_cast<std::size_t>(port_)]->can_pop() ? now() : kNeverWake;
+}
+
+std::vector<dfc::df::FifoBase*> PortMerge::connected_fifos() const {
+  std::vector<dfc::df::FifoBase*> fifos;
+  fifos.reserve(ins_.size() + 1);
+  for (auto* f : ins_) fifos.push_back(f);
+  fifos.push_back(&out_);
+  return fifos;
 }
 
 void PortMerge::on_clock() {

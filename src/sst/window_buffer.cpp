@@ -24,17 +24,24 @@ void WindowBuffer::on_clock() {
   try_consume();
 }
 
-void WindowBuffer::try_emit() {
+bool WindowBuffer::emit_data_ready() const {
   // The cursor window needs its last real (in-map) tap to have arrived:
   // pixel (ry, rx) of the cursor's channel slot.
   const std::int64_t ry = std::min(emit_oy_ + geom_.kh - 1, geom_.in_h - 1);
   const std::int64_t rx = std::min(emit_ox_ + geom_.kw - 1, geom_.in_w - 1);
   const std::int64_t required = (ry * geom_.in_w + rx) * geom_.channels + emit_slot_;
+  return emit_image_ < input_image_ ||
+         (emit_image_ == input_image_ && elements_in_image_ > required);
+}
 
-  const bool data_ready =
-      emit_image_ < input_image_ ||
-      (emit_image_ == input_image_ && elements_in_image_ > required);
-  if (!data_ready) return;
+std::uint64_t WindowBuffer::wake_cycle() const {
+  // An emittable window either pushes or stalls on the full output every
+  // cycle; available input may be consumed. Otherwise on_clock is a no-op.
+  return (emit_data_ready() || in_.can_pop()) ? now() : kNeverWake;
+}
+
+void WindowBuffer::try_emit() {
+  if (!emit_data_ready()) return;
   if (!out_.can_push()) {
     out_.note_full_stall();
     return;

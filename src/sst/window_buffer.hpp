@@ -37,6 +37,8 @@ class WindowBuffer final : public dfc::df::Process {
     return emit_image_ > input_image_ ||
            (emit_image_ == input_image_ && elements_in_image_ == 0);
   }
+  std::uint64_t wake_cycle() const override;
+  std::vector<dfc::df::FifoBase*> connected_fifos() const override { return {&in_, &out_}; }
 
   const WindowGeometry& geometry() const { return geom_; }
 
@@ -44,6 +46,7 @@ class WindowBuffer final : public dfc::df::Process {
   std::uint64_t images_consumed() const { return images_consumed_; }
 
  private:
+  bool emit_data_ready() const;
   void try_emit();
   void try_consume();
   void advance_emit_cursor();

@@ -29,12 +29,14 @@ int main() {
 
     std::printf("%s (%zu layers; paper converges to ~%.1f us)\n", spec.name.c_str(),
                 spec.size(), paper_converged_us[i]);
-    AsciiTable t({"batch", "mean us/image", "total cycles"});
-    CsvWriter csv("fig6_" + spec.name + ".csv", {"batch", "mean_us_per_image"});
+    AsciiTable t({"batch", "mean us/image", "p50 lat us", "p99 lat us", "total cycles"});
+    CsvWriter csv("fig6_" + spec.name + ".csv",
+                  {"batch", "mean_us_per_image", "p50_latency_us", "p99_latency_us"});
     for (const auto& p : points) {
       t.add_row({std::to_string(p.batch), fmt_fixed(p.mean_us_per_image, 3),
+                 fmt_fixed(p.p50_latency_us, 3), fmt_fixed(p.p99_latency_us, 3),
                  std::to_string(p.total_cycles)});
-      csv.row_values(p.batch, p.mean_us_per_image);
+      csv.row_values(p.batch, p.mean_us_per_image, p.p50_latency_us, p.p99_latency_us);
     }
     csv.flush();
     std::printf("%s", t.render().c_str());

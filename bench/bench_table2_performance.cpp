@@ -71,6 +71,8 @@ int main() {
         "steady interval=%.3f us  power=%.1f W\n",
         specs[i].name.c_str(), static_cast<long long>(specs[i].flops_per_image()),
         m.mean_us_per_image, m.end_to_end_latency_us, m.steady_interval_us, m.watts);
+    std::printf("  %-12s latency percentiles: p50=%.3f us  p95=%.3f us  p99=%.3f us\n",
+                specs[i].name.c_str(), m.p50_latency_us, m.p95_latency_us, m.p99_latency_us);
   }
 
   std::printf("\nShape checks (paper claims):\n");

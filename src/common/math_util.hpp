@@ -1,9 +1,11 @@
 // Small integer/float helpers shared across modules.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -40,6 +42,45 @@ inline bool almost_equal(float a, float b, float rel = 1e-4f, float abs = 1e-5f)
   if (diff <= abs) return true;
   const float largest = std::fmax(std::fabs(a), std::fabs(b));
   return diff <= rel * largest;
+}
+
+/// Nearest-rank percentile of an unsorted sample (pct in [0, 100]): the
+/// smallest element with at least pct% of the sample at or below it. Returns
+/// 0 on an empty sample so latency reports degrade gracefully when nothing
+/// completed (e.g. a fully shed serving run).
+inline std::uint64_t percentile_nearest_rank(std::vector<std::uint64_t> sample, double pct) {
+  DFC_REQUIRE(pct >= 0.0 && pct <= 100.0, "percentile must be in [0, 100]");
+  if (sample.empty()) return 0;
+  std::sort(sample.begin(), sample.end());
+  // rank = ceil(pct/100 * n), clamped to [1, n]; p0 maps to the minimum.
+  const auto n = sample.size();
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(n)));
+  rank = std::clamp<std::size_t>(rank, 1, n);
+  return sample[rank - 1];
+}
+
+/// The three tail quantiles every latency report uses, in one pass over the
+/// sorted sample.
+struct LatencyPercentiles {
+  std::uint64_t p50 = 0;
+  std::uint64_t p95 = 0;
+  std::uint64_t p99 = 0;
+};
+
+inline LatencyPercentiles latency_percentiles(std::vector<std::uint64_t> sample) {
+  LatencyPercentiles p;
+  if (sample.empty()) return p;
+  std::sort(sample.begin(), sample.end());
+  const auto n = sample.size();
+  auto rank = [n](double pct) {
+    const auto r = static_cast<std::size_t>(std::ceil(pct / 100.0 * static_cast<double>(n)));
+    return std::clamp<std::size_t>(r, 1, n) - 1;
+  };
+  p.p50 = sample[rank(50.0)];
+  p.p95 = sample[rank(95.0)];
+  p.p99 = sample[rank(99.0)];
+  return p;
 }
 
 /// Maximum absolute elementwise difference between two equally sized ranges.

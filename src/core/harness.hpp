@@ -36,7 +36,10 @@ struct BatchResult {
   std::uint64_t total_cycles() const { return end_cycle - start_cycle; }
 
   /// The paper's Fig. 6 metric: batch wall time divided by batch size.
+  /// An empty batch (possible for a default-constructed result) yields 0
+  /// rather than dividing by zero.
   double mean_cycles_per_image() const {
+    if (batch_size() == 0) return 0.0;
     return static_cast<double>(total_cycles()) / static_cast<double>(batch_size());
   }
 
@@ -50,10 +53,11 @@ struct BatchResult {
   std::vector<std::uint64_t> completion_intervals() const;
 
   /// Steady-state initiation interval: the median of the trailing
-  /// min(8, batch_size - 1) completion intervals (meaningful for
-  /// batch_size >= 2). The median rejects one-off hiccups — e.g. a FIFO
-  /// refill after a drain — that a single last-two-completions difference
-  /// would report as the steady rate.
+  /// min(8, batch_size - 1) completion intervals. The median rejects one-off
+  /// hiccups — e.g. a FIFO refill after a drain — that a single
+  /// last-two-completions difference would report as the steady rate.
+  /// Batches of fewer than two images have no interval and yield 0; the
+  /// serve path legitimately produces size-1 batches under light load.
   std::uint64_t steady_interval_cycles() const;
 
   /// Predicted class of image i (argmax over its logits).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "common/math_util.hpp"
 #include "common/rng.hpp"
 #include "report/sweep_runner.hpp"
 
@@ -24,6 +25,15 @@ std::vector<Tensor> random_images(const NetworkSpec& spec, std::size_t count,
   }
   return images;
 }
+
+namespace {
+std::vector<std::uint64_t> image_latencies(const BatchResult& r) {
+  std::vector<std::uint64_t> lat;
+  lat.reserve(r.batch_size());
+  for (std::size_t i = 0; i < r.batch_size(); ++i) lat.push_back(r.image_latency_cycles(i));
+  return lat;
+}
+}  // namespace
 
 PerformanceMetrics measure_performance(const NetworkSpec& spec, std::size_t batch,
                                        std::uint64_t seed, const dfc::hw::CostModel& cost,
@@ -49,6 +59,10 @@ PerformanceMetrics measure_performance(const NetworkSpec& spec, std::size_t batc
              seconds / 1e9;
   m.watts = power.estimate_watts(dfc::hw::estimate_design(spec, cost).total);
   m.gflops_per_watt = m.gflops / m.watts;
+  const LatencyPercentiles lp = latency_percentiles(image_latencies(r));
+  m.p50_latency_us = dfc::core::cycles_to_us(static_cast<double>(lp.p50));
+  m.p95_latency_us = dfc::core::cycles_to_us(static_cast<double>(lp.p95));
+  m.p99_latency_us = dfc::core::cycles_to_us(static_cast<double>(lp.p99));
   return m;
 }
 
@@ -71,8 +85,11 @@ std::vector<BatchPoint> sweep_impl(const NetworkSpec& spec,
                                       images.begin() + static_cast<std::ptrdiff_t>(b));
       const BatchResult r =
           sequential ? harness.run_sequential(slice) : harness.run_batch(slice);
+      const LatencyPercentiles lp = latency_percentiles(image_latencies(r));
       return BatchPoint{b, dfc::core::cycles_to_us(r.mean_cycles_per_image()),
-                        r.total_cycles()};
+                        r.total_cycles(),
+                        dfc::core::cycles_to_us(static_cast<double>(lp.p50)),
+                        dfc::core::cycles_to_us(static_cast<double>(lp.p99))};
     });
   }
   return run_sweep<BatchPoint>(jobs);

@@ -33,6 +33,11 @@ struct PerformanceMetrics {
   double gflops = 0.0;
   double watts = 0.0;
   double gflops_per_watt = 0.0;
+  // Distribution of per-image end-to-end latencies over the batch
+  // (nearest-rank percentiles) — the mean alone hides the pipeline-fill tail.
+  double p50_latency_us = 0.0;
+  double p95_latency_us = 0.0;
+  double p99_latency_us = 0.0;
 };
 
 /// Runs a pipelined batch and derives all Table II metrics.
@@ -45,6 +50,8 @@ struct BatchPoint {
   std::size_t batch = 0;
   double mean_us_per_image = 0.0;
   std::uint64_t total_cycles = 0;
+  double p50_latency_us = 0.0;  ///< median per-image end-to-end latency
+  double p99_latency_us = 0.0;  ///< tail latency — what batching trades away
 };
 
 /// Fig. 6 sweep: mean time per image for each batch size.

@@ -1,57 +1,16 @@
 #include "report/sweep_runner.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <cstdlib>
-#include <exception>
-#include <thread>
+#include "common/thread_pool.hpp"
 
 namespace dfc::report {
 
-std::size_t sweep_thread_count() {
-  if (const char* env = std::getenv("DFCNN_SWEEP_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v >= 1) return static_cast<std::size_t>(v);
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
-}
+std::size_t sweep_thread_count() { return dfc::default_worker_count(); }
 
 namespace detail {
 
 void run_indexed(std::size_t count, std::size_t threads,
                  const std::function<void(std::size_t)>& body) {
-  if (count == 0) return;
-  if (threads == 0) threads = sweep_thread_count();
-  threads = std::min(threads, count);
-
-  if (threads <= 1) {
-    for (std::size_t i = 0; i < count; ++i) body(i);
-    return;
-  }
-
-  std::vector<std::exception_ptr> errors(count);
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    while (true) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) return;
-      try {
-        body(i);
-      } catch (...) {
-        errors[i] = std::current_exception();
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-
-  for (std::exception_ptr& e : errors) {
-    if (e) std::rethrow_exception(e);
-  }
+  dfc::run_indexed(count, threads, body);
 }
 
 }  // namespace detail

@@ -10,6 +10,9 @@
 // Thread count: explicit argument > DFCNN_SWEEP_THREADS env var >
 // std::thread::hardware_concurrency(). Set DFCNN_SWEEP_THREADS=1 to force
 // sequential execution (e.g. when profiling a single simulation).
+//
+// The worker-pool machinery itself lives in common/thread_pool.{hpp,cpp};
+// this header keeps the sweep-flavoured API the benches use.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,29 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dfc::serve {
+
+DynamicBatcher::DynamicBatcher(BatcherPolicy policy) : policy_(policy) {
+  DFC_REQUIRE(policy.max_batch_size > 0, "batcher max_batch_size must be positive");
+}
+
+bool DynamicBatcher::should_close(std::size_t queue_depth, std::uint64_t oldest_arrival_cycle,
+                                  std::uint64_t now_cycle) const {
+  if (queue_depth == 0) return false;
+  if (queue_depth >= policy_.max_batch_size) return true;
+  return now_cycle >= close_deadline(oldest_arrival_cycle);
+}
+
+std::uint64_t DynamicBatcher::close_deadline(std::uint64_t oldest_arrival_cycle) const {
+  const std::uint64_t deadline = oldest_arrival_cycle + policy_.max_wait_cycles;
+  return deadline < oldest_arrival_cycle ? kNever : deadline;  // saturate on overflow
+}
+
+std::size_t DynamicBatcher::take_count(std::size_t queue_depth) const {
+  return std::min(queue_depth, policy_.max_batch_size);
+}
+
+}  // namespace dfc::serve

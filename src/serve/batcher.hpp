@@ -1,0 +1,53 @@
+// Dynamic batching policy: when does a batch close?
+//
+// The paper's Fig. 6 shows per-image cost falling with batch size because
+// the high-level pipeline amortizes fill/drain across the batch — but an
+// online server cannot wait forever for a full batch. The classic dynamic-
+// batching compromise closes a batch on whichever fires first:
+//   * size trigger:   max_batch_size requests are waiting, or
+//   * timeout trigger: the OLDEST waiting request has aged max_wait_cycles.
+// max_wait therefore bounds the queueing delay any request pays to help its
+// successors amortize; max_wait = 0 degenerates to "dispatch whatever is
+// queued the moment a replica frees up" (still > batch 1 under backlog).
+//
+// The policy object is pure (no queue access, no side effects) so the close
+// decision is unit-testable and the event loop stays the single source of
+// state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dfc::serve {
+
+struct BatcherPolicy {
+  std::size_t max_batch_size = 8;
+  std::uint64_t max_wait_cycles = 0;
+};
+
+class DynamicBatcher {
+ public:
+  explicit DynamicBatcher(BatcherPolicy policy);
+
+  const BatcherPolicy& policy() const { return policy_; }
+
+  /// True when a batch should close right now given the queue depth and the
+  /// oldest queued request's arrival cycle.
+  bool should_close(std::size_t queue_depth, std::uint64_t oldest_arrival_cycle,
+                    std::uint64_t now_cycle) const;
+
+  /// Cycle at which the timeout trigger fires for a request that arrived at
+  /// `oldest_arrival_cycle` (the event loop's next wake-up when the size
+  /// trigger cannot fire). Saturates instead of wrapping.
+  std::uint64_t close_deadline(std::uint64_t oldest_arrival_cycle) const;
+
+  /// Batch size to dispatch from `queue_depth` waiting requests.
+  std::size_t take_count(std::size_t queue_depth) const;
+
+  static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+ private:
+  BatcherPolicy policy_;
+};
+
+}  // namespace dfc::serve

@@ -1,0 +1,50 @@
+#include "serve/load_generator.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/harness.hpp"
+
+namespace dfc::serve {
+
+Load generate_load(const dfc::core::NetworkSpec& spec, const LoadSpec& load) {
+  DFC_REQUIRE(load.rate_images_per_second > 0.0, "load rate must be positive");
+  DFC_REQUIRE(load.request_count > 0, "load needs at least one request");
+  DFC_REQUIRE(load.distinct_images > 0, "load needs at least one distinct image");
+
+  Rng rng(load.seed);
+  Load out;
+  out.images.reserve(load.distinct_images);
+  for (std::size_t i = 0; i < load.distinct_images; ++i) {
+    Tensor t(spec.input_shape);
+    for (float& v : t.flat()) v = rng.uniform(-1.0f, 1.0f);
+    out.images.push_back(std::move(t));
+  }
+
+  const double mean_gap_cycles = dfc::core::kClockHz / load.rate_images_per_second;
+  double clock = 0.0;  // accumulate in double so rounding does not drift
+  out.requests.reserve(load.request_count);
+  for (std::size_t i = 0; i < load.request_count; ++i) {
+    if (i > 0) {
+      switch (load.arrivals) {
+        case ArrivalProcess::kPoisson:
+          // Inverse-CDF exponential draw; 1 - u keeps the log argument in
+          // (0, 1] so the gap is finite.
+          clock += -std::log(1.0 - rng.next_double()) * mean_gap_cycles;
+          break;
+        case ArrivalProcess::kUniform:
+          clock += mean_gap_cycles;
+          break;
+      }
+    }
+    Request r;
+    r.id = i;
+    r.arrival_cycle = static_cast<std::uint64_t>(clock);
+    r.image_index = static_cast<std::size_t>(rng.next_below(load.distinct_images));
+    out.requests.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace dfc::serve

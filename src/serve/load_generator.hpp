@@ -1,0 +1,55 @@
+// Open-loop load generation for the serving subsystem.
+//
+// "Open loop" means arrivals are driven by an external clock, not by the
+// service finishing previous requests: a saturated server keeps receiving
+// work and must shed it, exactly the regime where queueing delay and tail
+// latency appear. Arrival times are simulated cycles of the 100 MHz fabric
+// clock — there is no wall-clock anywhere in the model, so a load scenario
+// is a pure function of its LoadSpec (seed included) and replays bit-
+// identically on any machine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/network_spec.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dfc::serve {
+
+/// One inference request: an image (by index into the load's image set)
+/// arriving at a known simulated cycle. Ids are assigned in arrival order,
+/// so FIFO service implies dispatch in id order.
+struct Request {
+  std::uint64_t id = 0;
+  std::uint64_t arrival_cycle = 0;
+  std::size_t image_index = 0;
+};
+
+enum class ArrivalProcess {
+  kPoisson,  ///< exponential inter-arrival gaps (bursty, memoryless)
+  kUniform,  ///< evenly spaced arrivals at the offered rate
+};
+
+struct LoadSpec {
+  ArrivalProcess arrivals = ArrivalProcess::kPoisson;
+  double rate_images_per_second = 1000.0;  ///< offered rate at the 100 MHz clock
+  std::size_t request_count = 1000;
+  std::uint64_t seed = 7;
+  /// Distinct images generated and cycled over (keeps memory bounded for
+  /// long scenarios; timing is data-independent anyway).
+  std::size_t distinct_images = 16;
+};
+
+/// A fully materialized scenario: the image pool plus every request with its
+/// arrival cycle, sorted by (arrival_cycle, id).
+struct Load {
+  std::vector<Tensor> images;
+  std::vector<Request> requests;
+};
+
+/// Expands a LoadSpec against a design's input shape. Deterministic per
+/// spec/seed. Throws ConfigError on a non-positive rate or zero requests.
+Load generate_load(const dfc::core::NetworkSpec& spec, const LoadSpec& load);
+
+}  // namespace dfc::serve

@@ -1,0 +1,54 @@
+#include "serve/request_queue.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace dfc::serve {
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+  DFC_REQUIRE(capacity > 0, "request queue capacity must be positive");
+}
+
+Admission RequestQueue::try_push(const Request& r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (q_.size() >= capacity_) {
+    ++shed_;
+    return Admission::kShed;
+  }
+  q_.push_back(r);
+  return Admission::kAccepted;
+}
+
+void RequestQueue::push(const Request& r) {
+  if (try_push(r) == Admission::kShed) {
+    throw OverloadError("request " + std::to_string(r.id) + " shed: queue full (capacity " +
+                        std::to_string(capacity_) + ")");
+  }
+}
+
+std::optional<Request> RequestQueue::try_pop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (q_.empty()) return std::nullopt;
+  Request r = q_.front();
+  q_.pop_front();
+  return r;
+}
+
+std::optional<std::uint64_t> RequestQueue::oldest_arrival_cycle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (q_.empty()) return std::nullopt;
+  return q_.front().arrival_cycle;
+}
+
+std::size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return q_.size();
+}
+
+std::uint64_t RequestQueue::shed_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+}  // namespace dfc::serve

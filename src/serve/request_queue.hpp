@@ -1,0 +1,58 @@
+// Bounded, thread-safe admission queue for inference requests.
+//
+// The serving discipline is explicit overload shedding: when the queue is
+// full the request is REJECTED immediately (typed result / OverloadError),
+// never blocked — an open-loop client keeps sending regardless, and an
+// unbounded or blocking queue would just convert overload into unbounded
+// latency. Every operation is O(1) under one mutex; the deterministic serve
+// simulation uses it single-threaded, while live producers may push from any
+// number of threads (tests/test_serve.cpp exercises both).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "serve/load_generator.hpp"
+
+namespace dfc::serve {
+
+enum class Admission {
+  kAccepted,
+  kShed,  ///< queue full: rejected, counted, caller never blocks
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity);
+
+  /// Non-blocking admission: kShed (and a bumped shed counter) when full.
+  Admission try_push(const Request& r);
+
+  /// Throwing flavour of try_push for callers that treat overload as an
+  /// exceptional path; throws dfc::OverloadError when the request is shed.
+  void push(const Request& r);
+
+  /// Pops the oldest request (FIFO), or nullopt when empty. Never blocks.
+  std::optional<Request> try_pop();
+
+  /// Arrival cycle of the oldest queued request (nullopt when empty) —
+  /// what the batcher's max_wait deadline is measured against.
+  std::optional<std::uint64_t> oldest_arrival_cycle() const;
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return size() == 0; }
+
+  /// Requests rejected by try_push/push since construction.
+  std::uint64_t shed_count() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<Request> q_;
+  std::uint64_t shed_ = 0;
+};
+
+}  // namespace dfc::serve

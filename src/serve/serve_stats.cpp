@@ -1,0 +1,31 @@
+#include "serve/serve_stats.hpp"
+
+#include "common/table.hpp"
+#include "core/harness.hpp"
+
+namespace dfc::serve {
+
+std::string ServeStats::render() const {
+  auto us = [](double cycles) { return dfc::core::cycles_to_us(cycles); };
+  AsciiTable t({"metric", "value"});
+  t.add_row({"offered requests", std::to_string(offered_requests)});
+  t.add_row({"completed", std::to_string(completed_requests)});
+  t.add_row({"shed (queue full)", std::to_string(shed_requests)});
+  t.add_row({"offered rate (req/s)", fmt_fixed(offered_rps, 0)});
+  t.add_row({"sustained rate (req/s)", fmt_fixed(sustained_rps, 0)});
+  t.add_row({"batches", std::to_string(batches)});
+  t.add_row({"mean batch size", fmt_fixed(mean_batch_size, 2)});
+  t.add_row({"max queue depth", std::to_string(max_queue_depth)});
+  t.add_row({"mean queue depth", fmt_fixed(mean_queue_depth, 2)});
+  t.add_row({"p50 latency (cycles)", std::to_string(p50_latency_cycles)});
+  t.add_row({"p95 latency (cycles)", std::to_string(p95_latency_cycles)});
+  t.add_row({"p99 latency (cycles)", std::to_string(p99_latency_cycles)});
+  t.add_row({"p50 latency (us)", fmt_fixed(us(static_cast<double>(p50_latency_cycles)), 3)});
+  t.add_row({"p95 latency (us)", fmt_fixed(us(static_cast<double>(p95_latency_cycles)), 3)});
+  t.add_row({"p99 latency (us)", fmt_fixed(us(static_cast<double>(p99_latency_cycles)), 3)});
+  t.add_row({"mean latency (us)", fmt_fixed(us(mean_latency_cycles), 3)});
+  t.add_row({"makespan (cycles)", std::to_string(makespan_cycles)});
+  return t.render();
+}
+
+}  // namespace dfc::serve

@@ -1,0 +1,75 @@
+// Result types of a serving run: per-request outcomes, per-batch records,
+// and the aggregate ServeStats scorecard (offered vs sustained throughput,
+// queue behaviour, shed count, latency percentiles in cycles).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dfc::serve {
+
+/// What happened to one request. Cycles are simulated fabric cycles; a shed
+/// request has only its arrival.
+struct RequestOutcome {
+  std::uint64_t id = 0;
+  std::uint64_t arrival_cycle = 0;
+  bool shed = false;
+  std::uint64_t dispatch_cycle = 0;    ///< batch close / replica start
+  std::uint64_t completion_cycle = 0;  ///< last output word of its batch
+  std::size_t batch_id = 0;
+  std::size_t replica = 0;
+  std::vector<float> logits;  ///< filled only when outputs are computed
+
+  /// Queueing + service latency (valid when !shed).
+  std::uint64_t latency_cycles() const { return completion_cycle - arrival_cycle; }
+};
+
+/// One dispatched batch: which requests ran where, and for how long.
+struct BatchRecord {
+  std::size_t id = 0;
+  std::size_t replica = 0;
+  std::uint64_t dispatch_cycle = 0;
+  std::uint64_t completion_cycle = 0;
+  std::vector<std::uint64_t> request_ids;
+
+  std::size_t size() const { return request_ids.size(); }
+  std::uint64_t service_cycles() const { return completion_cycle - dispatch_cycle; }
+};
+
+/// Aggregate scorecard of a load scenario.
+struct ServeStats {
+  std::string name;
+
+  std::size_t offered_requests = 0;
+  std::size_t completed_requests = 0;
+  std::uint64_t shed_requests = 0;
+
+  double offered_rps = 0.0;    ///< requests/s over the arrival span (100 MHz)
+  double sustained_rps = 0.0;  ///< completions/s from first arrival to last completion
+
+  std::size_t batches = 0;
+  double mean_batch_size = 0.0;
+
+  std::size_t max_queue_depth = 0;
+  double mean_queue_depth = 0.0;  ///< time-weighted over the whole run
+
+  std::uint64_t p50_latency_cycles = 0;
+  std::uint64_t p95_latency_cycles = 0;
+  std::uint64_t p99_latency_cycles = 0;
+  double mean_latency_cycles = 0.0;
+
+  std::uint64_t makespan_cycles = 0;  ///< first arrival -> last completion
+
+  /// ASCII table for the CLI (latency shown in both cycles and us).
+  std::string render() const;
+};
+
+/// Everything a serving run produces. Outcomes are indexed by request id.
+struct ServeReport {
+  ServeStats stats;
+  std::vector<RequestOutcome> outcomes;
+  std::vector<BatchRecord> batch_records;
+};
+
+}  // namespace dfc::serve

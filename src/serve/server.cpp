@@ -1,0 +1,204 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/math_util.hpp"
+#include "core/harness.hpp"
+#include "serve/request_queue.hpp"
+
+namespace dfc::serve {
+
+namespace {
+
+constexpr std::uint64_t kNever = DynamicBatcher::kNever;
+
+ServeStats summarize(const std::vector<Request>& requests,
+                     const std::vector<RequestOutcome>& outcomes,
+                     const std::vector<BatchRecord>& batches, std::size_t max_queue_depth,
+                     double depth_cycle_area) {
+  ServeStats s;
+  s.offered_requests = requests.size();
+  s.batches = batches.size();
+  s.max_queue_depth = max_queue_depth;
+
+  const std::uint64_t first_arrival = requests.front().arrival_cycle;
+  const std::uint64_t last_arrival = requests.back().arrival_cycle;
+  std::uint64_t last_completion = last_arrival;
+
+  std::vector<std::uint64_t> latencies;
+  latencies.reserve(outcomes.size());
+  double latency_sum = 0.0;
+  std::size_t batched_requests = 0;
+  for (const RequestOutcome& o : outcomes) {
+    if (o.shed) {
+      ++s.shed_requests;
+      continue;
+    }
+    ++s.completed_requests;
+    latencies.push_back(o.latency_cycles());
+    latency_sum += static_cast<double>(o.latency_cycles());
+    last_completion = std::max(last_completion, o.completion_cycle);
+  }
+  for (const BatchRecord& b : batches) batched_requests += b.size();
+  s.mean_batch_size =
+      s.batches > 0 ? static_cast<double>(batched_requests) / static_cast<double>(s.batches)
+                    : 0.0;
+
+  s.makespan_cycles = last_completion - first_arrival;
+  const double arrival_span =
+      static_cast<double>(std::max<std::uint64_t>(last_arrival - first_arrival, 1));
+  const double total_span = static_cast<double>(std::max<std::uint64_t>(s.makespan_cycles, 1));
+  s.offered_rps = static_cast<double>(s.offered_requests) /
+                  dfc::core::cycles_to_seconds(arrival_span);
+  s.sustained_rps = static_cast<double>(s.completed_requests) /
+                    dfc::core::cycles_to_seconds(total_span);
+  s.mean_queue_depth = depth_cycle_area / total_span;
+
+  const LatencyPercentiles lp = latency_percentiles(latencies);
+  s.p50_latency_cycles = lp.p50;
+  s.p95_latency_cycles = lp.p95;
+  s.p99_latency_cycles = lp.p99;
+  s.mean_latency_cycles =
+      latencies.empty() ? 0.0 : latency_sum / static_cast<double>(latencies.size());
+  return s;
+}
+
+}  // namespace
+
+ServeReport plan_serving(const std::vector<Request>& requests, const ServeConfig& config,
+                         const std::vector<std::uint64_t>& service_table) {
+  DFC_REQUIRE(!requests.empty(), "plan_serving needs at least one request");
+  DFC_REQUIRE(config.replicas > 0, "plan_serving needs at least one replica");
+  DFC_REQUIRE(service_table.size() >= config.batcher.max_batch_size,
+              "service table must cover batch sizes up to max_batch_size");
+  for (std::size_t n = 0; n < config.batcher.max_batch_size; ++n) {
+    DFC_REQUIRE(service_table[n] > 0, "service table entry for batch size " +
+                                          std::to_string(n + 1) + " is unmeasured");
+  }
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    DFC_REQUIRE(requests[i].id == i, "request ids must equal their index");
+    DFC_REQUIRE(i == 0 || requests[i - 1].arrival_cycle <= requests[i].arrival_cycle,
+                "requests must be sorted by arrival cycle");
+  }
+
+  const DynamicBatcher batcher(config.batcher);
+  RequestQueue queue(config.queue_capacity);
+  std::vector<std::uint64_t> busy_until(config.replicas, 0);
+
+  ServeReport report;
+  report.outcomes.resize(requests.size());
+  for (const Request& r : requests) {
+    report.outcomes[r.id].id = r.id;
+    report.outcomes[r.id].arrival_cycle = r.arrival_cycle;
+  }
+
+  std::size_t next_arrival = 0;
+  std::uint64_t now = requests.front().arrival_cycle;
+  std::size_t max_depth = 0;
+  double depth_cycle_area = 0.0;
+
+  auto lowest_free_replica = [&]() -> std::size_t {
+    for (std::size_t r = 0; r < busy_until.size(); ++r) {
+      if (busy_until[r] <= now) return r;
+    }
+    return busy_until.size();  // none free
+  };
+
+  auto dispatch_ready_batches = [&] {
+    while (true) {
+      const auto oldest = queue.oldest_arrival_cycle();
+      if (!oldest) return;
+      const std::size_t replica = lowest_free_replica();
+      if (replica == busy_until.size()) return;
+      if (!batcher.should_close(queue.size(), *oldest, now)) return;
+
+      BatchRecord rec;
+      rec.id = report.batch_records.size();
+      rec.replica = replica;
+      rec.dispatch_cycle = now;
+      const std::size_t k = batcher.take_count(queue.size());
+      rec.completion_cycle = now + service_table[k - 1];
+      rec.request_ids.reserve(k);
+      for (std::size_t j = 0; j < k; ++j) {
+        const Request r = *queue.try_pop();
+        rec.request_ids.push_back(r.id);
+        RequestOutcome& o = report.outcomes[r.id];
+        o.dispatch_cycle = now;
+        o.completion_cycle = rec.completion_cycle;
+        o.batch_id = rec.id;
+        o.replica = replica;
+      }
+      busy_until[replica] = rec.completion_cycle;
+      report.batch_records.push_back(std::move(rec));
+    }
+  };
+
+  auto any_replica_busy = [&] {
+    return std::any_of(busy_until.begin(), busy_until.end(),
+                       [&](std::uint64_t b) { return b > now; });
+  };
+
+  while (next_arrival < requests.size() || !queue.empty() || any_replica_busy()) {
+    // Next event: an arrival, a replica completion, or — when a replica is
+    // already free and the queue is merely waiting to fill — the batcher's
+    // timeout deadline.
+    std::uint64_t t = kNever;
+    if (next_arrival < requests.size()) {
+      t = std::min(t, requests[next_arrival].arrival_cycle);
+    }
+    for (const std::uint64_t b : busy_until) {
+      if (b > now) t = std::min(t, b);
+    }
+    if (const auto oldest = queue.oldest_arrival_cycle();
+        oldest && lowest_free_replica() < busy_until.size()) {
+      t = std::min(t, batcher.close_deadline(*oldest));
+    }
+    DFC_CHECK(t != kNever && t >= now, "serve event loop lost its next event");
+
+    depth_cycle_area += static_cast<double>(queue.size()) * static_cast<double>(t - now);
+    now = t;
+
+    while (next_arrival < requests.size() &&
+           requests[next_arrival].arrival_cycle == now) {
+      const Request& r = requests[next_arrival];
+      if (queue.try_push(r) == Admission::kShed) report.outcomes[r.id].shed = true;
+      ++next_arrival;
+      max_depth = std::max(max_depth, queue.size());
+    }
+    dispatch_ready_batches();
+  }
+
+  report.stats = summarize(requests, report.outcomes, report.batch_records, max_depth,
+                           depth_cycle_area);
+  DFC_CHECK(report.stats.shed_requests == queue.shed_count(),
+            "outcome shed flags disagree with the queue's shed counter");
+  return report;
+}
+
+InferenceServer::InferenceServer(const dfc::core::NetworkSpec& spec, const ServeConfig& config)
+    : config_(config), pool_(spec, config.replicas, config.build) {}
+
+ServeReport InferenceServer::run(const Load& load) {
+  if (pool_.warmed_batch_limit() < config_.batcher.max_batch_size) {
+    pool_.warm(config_.batcher.max_batch_size, config_.threads);
+  }
+  std::vector<std::uint64_t> table;
+  table.reserve(config_.batcher.max_batch_size);
+  for (std::size_t n = 1; n <= config_.batcher.max_batch_size; ++n) {
+    table.push_back(pool_.service_cycles(n));
+  }
+
+  ServeReport report = plan_serving(load.requests, config_, table);
+  report.stats.name = pool_.spec().name;
+
+  if (config_.compute_outputs) {
+    std::vector<std::size_t> request_image_index(load.requests.size());
+    for (const Request& r : load.requests) request_image_index[r.id] = r.image_index;
+    pool_.execute(report.batch_records, load.images, request_image_index, report.outcomes,
+                  config_.threads);
+  }
+  return report;
+}
+
+}  // namespace dfc::serve

@@ -1,0 +1,69 @@
+// The serving engine: request queue -> dynamic batcher -> replica pool.
+//
+// Serving is simulated as a deterministic discrete-event timeline in fabric
+// cycles. The heavy cycle-level accelerator simulations are reduced to a
+// memoized service-time table (batch size -> cycles; exact because the
+// design's timing is data-independent), so the timeline itself is pure
+// arithmetic: same load + same config => identical ServeStats on any
+// machine with any DFCNN_SWEEP_THREADS. Worker threads are used where they
+// cannot affect results — warming the table and replaying batches for real
+// logits, one replica harness per worker.
+//
+// Event ordering within one cycle (fixed, hence deterministic):
+//   1. arrivals are admitted or shed (admission sees the queue before any
+//      dispatch in the same cycle, so a just-in-time arrival can still join
+//      a closing batch);
+//   2. batches close (size or timeout trigger) onto free replicas, lowest
+//      replica index first.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/builder.hpp"
+#include "serve/batcher.hpp"
+#include "serve/load_generator.hpp"
+#include "serve/replica_pool.hpp"
+#include "serve/serve_stats.hpp"
+
+namespace dfc::serve {
+
+struct ServeConfig {
+  std::size_t replicas = 2;
+  std::size_t queue_capacity = 64;
+  BatcherPolicy batcher{};
+  /// Replay every planned batch on its replica to produce per-request
+  /// logits (and cross-check planned vs measured cycles). Off by default:
+  /// load studies only need the timeline.
+  bool compute_outputs = false;
+  /// Worker threads for warm()/execute() (0 = auto). Never changes results.
+  std::size_t threads = 0;
+  dfc::core::BuildOptions build{};
+};
+
+/// Plans the serving timeline for `requests` (sorted by arrival, ids equal
+/// to their index) against a service-time table where entry n-1 holds the
+/// cycles of a size-n batch (all sizes up to the batcher's max must be
+/// present). Pure and single-threaded; this is the function rate sweeps
+/// fan out over.
+ServeReport plan_serving(const std::vector<Request>& requests, const ServeConfig& config,
+                         const std::vector<std::uint64_t>& service_table);
+
+/// Owns the replica pool and runs complete load scenarios against it.
+class InferenceServer {
+ public:
+  InferenceServer(const dfc::core::NetworkSpec& spec, const ServeConfig& config);
+
+  /// Warm (if needed) + plan; with config.compute_outputs also replays the
+  /// plan on the replicas to fill per-request logits.
+  ServeReport run(const Load& load);
+
+  ReplicaPool& pool() { return pool_; }
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  ServeConfig config_;
+  ReplicaPool pool_;
+};
+
+}  // namespace dfc::serve

@@ -236,6 +236,26 @@ TEST(BatchResultTest, SteadyIntervalIsMedianOfTrailingIntervals) {
   EXPECT_EQ(even.steady_interval_cycles(), 15u);
 }
 
+TEST(BatchResultTest, EmptyAndSingleImageBatchesAreGuarded) {
+  // The serve path legitimately produces size-1 batches under light load;
+  // the degenerate metrics must yield 0, not divide by zero or throw.
+  BatchResult empty;
+  EXPECT_EQ(empty.batch_size(), 0u);
+  EXPECT_EQ(empty.mean_cycles_per_image(), 0.0);
+  EXPECT_EQ(empty.steady_interval_cycles(), 0u);
+  EXPECT_TRUE(empty.completion_intervals().empty());
+
+  BatchResult single;
+  single.start_cycle = 100;
+  single.end_cycle = 400;
+  single.inject_cycles = {100};
+  single.completion_cycles = {400};
+  single.outputs.resize(1);
+  EXPECT_EQ(single.mean_cycles_per_image(), 300.0);
+  EXPECT_EQ(single.steady_interval_cycles(), 0u);
+  EXPECT_TRUE(single.completion_intervals().empty());
+}
+
 // --- CsvWriter failure detection -----------------------------------------------
 
 TEST(CsvWriterTest, ThrowsOnUnopenablePath) {

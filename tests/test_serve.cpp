@@ -1,0 +1,419 @@
+// Tests for the serving subsystem: bounded queue admission (shed, never
+// block), dynamic batcher triggers (size and timeout), FIFO response
+// ordering, replica-pool determinism across thread counts, output
+// correctness against the single-image harness, and the percentile helpers.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/math_util.hpp"
+#include "core/presets.hpp"
+#include "serve/batcher.hpp"
+#include "serve/load_generator.hpp"
+#include "serve/replica_pool.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/server.hpp"
+
+namespace dfc::serve {
+namespace {
+
+core::NetworkSpec usps_spec() { return core::make_usps_spec(3); }
+
+Request make_request(std::uint64_t id, std::uint64_t arrival, std::size_t image = 0) {
+  Request r;
+  r.id = id;
+  r.arrival_cycle = arrival;
+  r.image_index = image;
+  return r;
+}
+
+// Restores DFCNN_SWEEP_THREADS on scope exit.
+class ScopedSweepThreads {
+ public:
+  explicit ScopedSweepThreads(const char* value) {
+    if (const char* old = std::getenv("DFCNN_SWEEP_THREADS")) old_ = old;
+    ::setenv("DFCNN_SWEEP_THREADS", value, 1);
+  }
+  ~ScopedSweepThreads() {
+    if (old_.empty()) {
+      ::unsetenv("DFCNN_SWEEP_THREADS");
+    } else {
+      ::setenv("DFCNN_SWEEP_THREADS", old_.c_str(), 1);
+    }
+  }
+
+ private:
+  std::string old_;
+};
+
+// --- percentile helpers --------------------------------------------------------
+
+TEST(PercentileTest, EmptySampleYieldsZero) {
+  EXPECT_EQ(percentile_nearest_rank({}, 99.0), 0u);
+  const LatencyPercentiles p = latency_percentiles({});
+  EXPECT_EQ(p.p50, 0u);
+  EXPECT_EQ(p.p95, 0u);
+  EXPECT_EQ(p.p99, 0u);
+}
+
+TEST(PercentileTest, SingleElementIsEveryPercentile) {
+  EXPECT_EQ(percentile_nearest_rank({42}, 0.0), 42u);
+  EXPECT_EQ(percentile_nearest_rank({42}, 50.0), 42u);
+  EXPECT_EQ(percentile_nearest_rank({42}, 100.0), 42u);
+  const LatencyPercentiles p = latency_percentiles({42});
+  EXPECT_EQ(p.p50, 42u);
+  EXPECT_EQ(p.p99, 42u);
+}
+
+TEST(PercentileTest, NearestRankOnKnownSample) {
+  std::vector<std::uint64_t> v;
+  for (std::uint64_t i = 1; i <= 100; ++i) v.push_back(i);
+  EXPECT_EQ(percentile_nearest_rank(v, 50.0), 50u);
+  EXPECT_EQ(percentile_nearest_rank(v, 95.0), 95u);
+  EXPECT_EQ(percentile_nearest_rank(v, 99.0), 99u);
+  EXPECT_EQ(percentile_nearest_rank(v, 100.0), 100u);
+  EXPECT_EQ(percentile_nearest_rank(v, 0.0), 1u);  // p0 clamps to the minimum
+}
+
+TEST(PercentileTest, TiesAndUnsortedInput) {
+  // Sorted: 1 5 5 5 — p50 rank = ceil(0.5*4) = 2 -> 5.
+  EXPECT_EQ(percentile_nearest_rank({5, 1, 5, 5}, 50.0), 5u);
+  EXPECT_EQ(percentile_nearest_rank({5, 1, 5, 5}, 25.0), 1u);
+  EXPECT_EQ(percentile_nearest_rank({7, 7, 7, 7}, 99.0), 7u);
+}
+
+// --- request queue -------------------------------------------------------------
+
+TEST(RequestQueueTest, FifoOrderAndOldestArrival) {
+  RequestQueue q(4);
+  q.push(make_request(0, 10));
+  q.push(make_request(1, 20));
+  q.push(make_request(2, 30));
+  EXPECT_EQ(q.oldest_arrival_cycle(), std::uint64_t{10});
+  EXPECT_EQ(q.try_pop()->id, 0u);
+  EXPECT_EQ(q.try_pop()->id, 1u);
+  EXPECT_EQ(q.oldest_arrival_cycle(), std::uint64_t{30});
+  EXPECT_EQ(q.try_pop()->id, 2u);
+  EXPECT_FALSE(q.try_pop().has_value());
+  EXPECT_FALSE(q.oldest_arrival_cycle().has_value());
+}
+
+TEST(RequestQueueTest, ShedsWhenFullAndNeverBlocks) {
+  RequestQueue q(2);
+  EXPECT_EQ(q.try_push(make_request(0, 0)), Admission::kAccepted);
+  EXPECT_EQ(q.try_push(make_request(1, 0)), Admission::kAccepted);
+  EXPECT_EQ(q.try_push(make_request(2, 0)), Admission::kShed);
+  EXPECT_EQ(q.shed_count(), 1u);
+  EXPECT_THROW(q.push(make_request(3, 0)), OverloadError);
+  EXPECT_EQ(q.shed_count(), 2u);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(RequestQueueTest, ConcurrentProducersAccountForEveryRequest) {
+  RequestQueue q(128);
+  constexpr std::size_t kProducers = 8;
+  constexpr std::size_t kPerProducer = 100;
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        q.try_push(make_request(p * kPerProducer + i, i));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  // try_push never blocks: every request was either queued or shed.
+  EXPECT_EQ(q.size() + q.shed_count(), kProducers * kPerProducer);
+  EXPECT_EQ(q.size(), 128u);
+}
+
+// --- dynamic batcher -----------------------------------------------------------
+
+TEST(BatcherTest, SizeTriggerClosesFullBatch) {
+  DynamicBatcher b({4, 1000});
+  EXPECT_FALSE(b.should_close(0, 0, 0));
+  EXPECT_FALSE(b.should_close(3, 0, 10));
+  EXPECT_TRUE(b.should_close(4, 0, 10));
+  EXPECT_TRUE(b.should_close(9, 0, 10));
+  EXPECT_EQ(b.take_count(9), 4u);
+  EXPECT_EQ(b.take_count(3), 3u);
+}
+
+TEST(BatcherTest, TimeoutTriggerClosesPartialBatch) {
+  DynamicBatcher b({4, 100});
+  EXPECT_FALSE(b.should_close(1, 50, 149));
+  EXPECT_TRUE(b.should_close(1, 50, 150));  // oldest aged max_wait
+  EXPECT_EQ(b.close_deadline(50), 150u);
+}
+
+TEST(BatcherTest, ZeroWaitDispatchesImmediately) {
+  DynamicBatcher b({8, 0});
+  EXPECT_TRUE(b.should_close(1, 123, 123));
+}
+
+TEST(BatcherTest, DeadlineSaturatesInsteadOfWrapping) {
+  DynamicBatcher b({4, ~std::uint64_t{0}});
+  EXPECT_EQ(b.close_deadline(10), DynamicBatcher::kNever);
+}
+
+// --- load generator ------------------------------------------------------------
+
+TEST(LoadGeneratorTest, DeterministicSortedAndSeedSensitive) {
+  const core::NetworkSpec spec = usps_spec();
+  LoadSpec ls;
+  ls.rate_images_per_second = 50000.0;
+  ls.request_count = 200;
+  ls.seed = 11;
+  const Load a = generate_load(spec, ls);
+  const Load b = generate_load(spec, ls);
+  ASSERT_EQ(a.requests.size(), 200u);
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].id, i);
+    EXPECT_EQ(a.requests[i].arrival_cycle, b.requests[i].arrival_cycle);
+    EXPECT_EQ(a.requests[i].image_index, b.requests[i].image_index);
+    if (i > 0) {
+      EXPECT_GE(a.requests[i].arrival_cycle, a.requests[i - 1].arrival_cycle);
+    }
+  }
+  ls.seed = 12;
+  const Load c = generate_load(spec, ls);
+  bool any_differs = false;
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    any_differs |= a.requests[i].arrival_cycle != c.requests[i].arrival_cycle;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(LoadGeneratorTest, UniformArrivalsMatchTheRate) {
+  const core::NetworkSpec spec = usps_spec();
+  LoadSpec ls;
+  ls.arrivals = ArrivalProcess::kUniform;
+  ls.rate_images_per_second = 100000.0;  // 1000-cycle gap at 100 MHz
+  ls.request_count = 10;
+  const Load l = generate_load(spec, ls);
+  for (std::size_t i = 0; i < l.requests.size(); ++i) {
+    EXPECT_EQ(l.requests[i].arrival_cycle, i * 1000);
+  }
+}
+
+// --- plan_serving: triggers, FIFO, shedding ------------------------------------
+
+// A synthetic service table keeps these tests independent of the simulator:
+// a size-n batch takes 100 + 10n cycles.
+std::vector<std::uint64_t> synthetic_table(std::size_t max_batch) {
+  std::vector<std::uint64_t> t;
+  for (std::size_t n = 1; n <= max_batch; ++n) t.push_back(100 + 10 * n);
+  return t;
+}
+
+ServeConfig basic_config(std::size_t max_batch, std::uint64_t max_wait,
+                         std::size_t replicas = 1, std::size_t queue_capacity = 64) {
+  ServeConfig c;
+  c.replicas = replicas;
+  c.queue_capacity = queue_capacity;
+  c.batcher.max_batch_size = max_batch;
+  c.batcher.max_wait_cycles = max_wait;
+  return c;
+}
+
+TEST(PlanServingTest, SizeTriggerFormsFullBatchesUnderBacklog) {
+  // 16 requests all at cycle 0: four full batches of 4 on one replica.
+  std::vector<Request> reqs;
+  for (std::uint64_t i = 0; i < 16; ++i) reqs.push_back(make_request(i, 0));
+  const auto report = plan_serving(reqs, basic_config(4, 1'000'000), synthetic_table(4));
+
+  ASSERT_EQ(report.batch_records.size(), 4u);
+  for (const BatchRecord& b : report.batch_records) {
+    EXPECT_EQ(b.size(), 4u);
+    EXPECT_EQ(b.service_cycles(), 140u);
+  }
+  // Back-to-back on the single replica.
+  EXPECT_EQ(report.batch_records[0].dispatch_cycle, 0u);
+  EXPECT_EQ(report.batch_records[1].dispatch_cycle, 140u);
+  EXPECT_EQ(report.stats.completed_requests, 16u);
+  EXPECT_EQ(report.stats.shed_requests, 0u);
+  EXPECT_DOUBLE_EQ(report.stats.mean_batch_size, 4.0);
+}
+
+TEST(PlanServingTest, TimeoutTriggerClosesPartialBatches) {
+  // Sparse arrivals (10000 cycles apart) against max_wait 500: every request
+  // dispatches alone, exactly max_wait after it arrived.
+  std::vector<Request> reqs;
+  for (std::uint64_t i = 0; i < 5; ++i) reqs.push_back(make_request(i, i * 10000));
+  const auto report = plan_serving(reqs, basic_config(8, 500), synthetic_table(8));
+
+  ASSERT_EQ(report.batch_records.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(report.batch_records[i].size(), 1u);
+    EXPECT_EQ(report.batch_records[i].dispatch_cycle, i * 10000 + 500);
+    EXPECT_EQ(report.outcomes[i].latency_cycles(), 500u + 110u);
+  }
+}
+
+TEST(PlanServingTest, FifoOrderingOfResponses) {
+  // Poisson load over two replicas: dispatch must follow arrival (id) order
+  // globally — batch b's ids continue exactly where batch b-1 stopped.
+  const core::NetworkSpec spec = usps_spec();
+  LoadSpec ls;
+  ls.rate_images_per_second = 400000.0;
+  ls.request_count = 300;
+  const Load load = generate_load(spec, ls);
+  const auto report = plan_serving(load.requests, basic_config(8, 2000, 2), synthetic_table(8));
+
+  std::vector<std::uint64_t> dispatched;
+  for (const BatchRecord& b : report.batch_records) {
+    for (const std::uint64_t id : b.request_ids) dispatched.push_back(id);
+  }
+  ASSERT_EQ(dispatched.size(), 300u);
+  for (std::size_t i = 0; i < dispatched.size(); ++i) {
+    EXPECT_EQ(dispatched[i], i) << "response order diverged from arrival order";
+  }
+  for (const RequestOutcome& o : report.outcomes) {
+    EXPECT_FALSE(o.shed);
+    EXPECT_GE(o.dispatch_cycle, o.arrival_cycle);
+    EXPECT_GT(o.completion_cycle, o.dispatch_cycle);
+  }
+}
+
+TEST(PlanServingTest, OverloadShedsInsteadOfBlocking) {
+  // 100 simultaneous arrivals into a 4-deep queue with one slow replica:
+  // 4 served, 96 shed, and the plan still terminates (nothing blocks).
+  std::vector<Request> reqs;
+  for (std::uint64_t i = 0; i < 100; ++i) reqs.push_back(make_request(i, 0));
+  const auto report = plan_serving(reqs, basic_config(4, 1000, 1, 4), synthetic_table(4));
+
+  EXPECT_EQ(report.stats.completed_requests, 4u);
+  EXPECT_EQ(report.stats.shed_requests, 96u);
+  EXPECT_EQ(report.stats.completed_requests + report.stats.shed_requests, 100u);
+  EXPECT_EQ(report.stats.max_queue_depth, 4u);
+  // The accepted requests are the oldest ones (FIFO admission).
+  for (std::uint64_t i = 0; i < 4; ++i) EXPECT_FALSE(report.outcomes[i].shed);
+  for (std::uint64_t i = 4; i < 100; ++i) EXPECT_TRUE(report.outcomes[i].shed);
+}
+
+TEST(PlanServingTest, LateArrivalJoinsBatchClosingThatCycle) {
+  // Request 1 arrives exactly when request 0's timeout fires: same-cycle
+  // arrivals are admitted before dispatch, so both ride one batch.
+  std::vector<Request> reqs = {make_request(0, 0), make_request(1, 500)};
+  const auto report = plan_serving(reqs, basic_config(8, 500), synthetic_table(8));
+  ASSERT_EQ(report.batch_records.size(), 1u);
+  EXPECT_EQ(report.batch_records[0].size(), 2u);
+  EXPECT_EQ(report.batch_records[0].dispatch_cycle, 500u);
+}
+
+// --- end-to-end server: determinism and output correctness ---------------------
+
+void expect_same_report(const ServeReport& a, const ServeReport& b) {
+  EXPECT_EQ(a.stats.completed_requests, b.stats.completed_requests);
+  EXPECT_EQ(a.stats.shed_requests, b.stats.shed_requests);
+  EXPECT_EQ(a.stats.batches, b.stats.batches);
+  EXPECT_EQ(a.stats.max_queue_depth, b.stats.max_queue_depth);
+  EXPECT_DOUBLE_EQ(a.stats.mean_queue_depth, b.stats.mean_queue_depth);
+  EXPECT_EQ(a.stats.p50_latency_cycles, b.stats.p50_latency_cycles);
+  EXPECT_EQ(a.stats.p95_latency_cycles, b.stats.p95_latency_cycles);
+  EXPECT_EQ(a.stats.p99_latency_cycles, b.stats.p99_latency_cycles);
+  EXPECT_EQ(a.stats.makespan_cycles, b.stats.makespan_cycles);
+  ASSERT_EQ(a.batch_records.size(), b.batch_records.size());
+  for (std::size_t i = 0; i < a.batch_records.size(); ++i) {
+    EXPECT_EQ(a.batch_records[i].replica, b.batch_records[i].replica);
+    EXPECT_EQ(a.batch_records[i].dispatch_cycle, b.batch_records[i].dispatch_cycle);
+    EXPECT_EQ(a.batch_records[i].completion_cycle, b.batch_records[i].completion_cycle);
+    EXPECT_EQ(a.batch_records[i].request_ids, b.batch_records[i].request_ids);
+  }
+  ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+  for (std::size_t i = 0; i < a.outcomes.size(); ++i) {
+    EXPECT_EQ(a.outcomes[i].shed, b.outcomes[i].shed);
+    EXPECT_EQ(a.outcomes[i].completion_cycle, b.outcomes[i].completion_cycle);
+    EXPECT_EQ(a.outcomes[i].logits, b.outcomes[i].logits);
+  }
+}
+
+ServeReport run_scenario_with_outputs() {
+  const core::NetworkSpec spec = usps_spec();
+  ServeConfig config;
+  config.replicas = 3;
+  config.queue_capacity = 32;
+  config.batcher.max_batch_size = 6;
+  config.batcher.max_wait_cycles = 1500;
+  config.compute_outputs = true;
+
+  LoadSpec ls;
+  ls.rate_images_per_second = 500000.0;
+  ls.request_count = 120;
+  ls.distinct_images = 5;
+
+  InferenceServer server(spec, config);
+  return server.run(generate_load(spec, ls));
+}
+
+TEST(InferenceServerTest, DeterministicAcrossThreadCounts) {
+  ServeReport sequential, parallel;
+  {
+    ScopedSweepThreads env("1");
+    sequential = run_scenario_with_outputs();
+  }
+  {
+    ScopedSweepThreads env("4");
+    parallel = run_scenario_with_outputs();
+  }
+  expect_same_report(sequential, parallel);
+  EXPECT_GT(sequential.stats.completed_requests, 0u);
+}
+
+TEST(InferenceServerTest, RepeatedRunsAreIdentical) {
+  const ServeReport a = run_scenario_with_outputs();
+  const ServeReport b = run_scenario_with_outputs();
+  expect_same_report(a, b);
+}
+
+TEST(InferenceServerTest, BatchedLogitsMatchSingleImageHarness) {
+  const core::NetworkSpec spec = usps_spec();
+  const ServeReport report = run_scenario_with_outputs();
+
+  LoadSpec ls;
+  ls.rate_images_per_second = 500000.0;
+  ls.request_count = 120;
+  ls.distinct_images = 5;
+  const Load load = generate_load(spec, ls);
+
+  core::AcceleratorHarness reference(core::build_accelerator(spec));
+  std::vector<std::vector<float>> per_image;
+  for (const Tensor& img : load.images) per_image.push_back(reference.run_image(img));
+
+  for (const Request& r : load.requests) {
+    const RequestOutcome& o = report.outcomes[r.id];
+    ASSERT_FALSE(o.shed);
+    EXPECT_EQ(o.logits, per_image[r.image_index])
+        << "request " << r.id << " logits diverge from the single-image harness";
+  }
+}
+
+TEST(InferenceServerTest, LightLoadProducesSizeOneBatches) {
+  // Arrivals far apart: the serve path legitimately produces batch size 1,
+  // which exercises the BatchResult empty/size-1 guards downstream.
+  const core::NetworkSpec spec = usps_spec();
+  ServeConfig config;
+  config.replicas = 1;
+  config.batcher.max_batch_size = 8;
+  config.batcher.max_wait_cycles = 100;
+  config.compute_outputs = true;
+
+  LoadSpec ls;
+  ls.arrivals = ArrivalProcess::kUniform;
+  ls.rate_images_per_second = 2000.0;  // 50000-cycle gaps, way below capacity
+  ls.request_count = 4;
+
+  InferenceServer server(spec, config);
+  const ServeReport report = server.run(generate_load(spec, ls));
+  ASSERT_EQ(report.batch_records.size(), 4u);
+  for (const BatchRecord& b : report.batch_records) EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(report.stats.completed_requests, 4u);
+  EXPECT_EQ(report.stats.mean_batch_size, 1.0);
+}
+
+}  // namespace
+}  // namespace dfc::serve

@@ -4,6 +4,10 @@
 //   dfcnn info      <design>                 describe, resources, timing
 //   dfcnn dot       <design>                 Graphviz block design to stdout
 //   dfcnn simulate  <design> [batch]         cycle-level batch simulation
+//   dfcnn serve     <design> [requests] [rate] [replicas]
+//                                            open-loop serving scenario
+//                                            (rate in req/s, 0 = 80% of
+//                                            estimated capacity)
 //   dfcnn dse       <preset> [device]        automated port-plan exploration
 //   dfcnn partition <design> <boards> [device]  multi-FPGA mapping
 //   dfcnn export    <preset> <out.dfcnn>     save a compiled design artifact
@@ -24,6 +28,7 @@
 #include "hwmodel/power.hpp"
 #include "multifpga/partition.hpp"
 #include "report/experiments.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
@@ -31,9 +36,11 @@ using namespace dfc;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: dfcnn <info|dot|simulate|dse|partition|export> <design> [args]\n"
+               "usage: dfcnn <info|dot|simulate|serve|dse|partition|export> <design> [args]\n"
                "  designs: usps | cifar | alexnet | <path to .dfcnn file>\n"
-               "  devices: virtex7-485t | virtex7-330t | kintex7-325t\n");
+               "  devices: virtex7-485t | virtex7-330t | kintex7-325t\n"
+               "  serve:   dfcnn serve <design> [requests=2000] [rate_rps=0(auto)] "
+               "[replicas=2]\n");
   return 2;
 }
 
@@ -90,6 +97,43 @@ int cmd_simulate(const core::NetworkSpec& spec, std::size_t batch) {
   return 0;
 }
 
+int cmd_serve(const core::NetworkSpec& spec, std::size_t requests, double rate_rps,
+              std::size_t replicas) {
+  serve::ServeConfig config;
+  config.replicas = replicas;
+  config.queue_capacity = 64;
+  config.batcher.max_batch_size = 16;
+  // Let the batcher wait at most the analytic time a full batch needs to
+  // accumulate at capacity (Eq. 4 interval x batch size): near capacity the
+  // size trigger closes batches first, under light load the timeout bounds
+  // queueing delay.
+  const auto timing = dse::estimate_timing(spec);
+  config.batcher.max_wait_cycles =
+      static_cast<std::uint64_t>(timing.interval_cycles) * config.batcher.max_batch_size;
+
+  if (rate_rps <= 0.0) {
+    rate_rps = 0.8 * static_cast<double>(replicas) * timing.images_per_second();
+  }
+
+  serve::LoadSpec load_spec;
+  load_spec.arrivals = serve::ArrivalProcess::kPoisson;
+  load_spec.rate_images_per_second = rate_rps;
+  load_spec.request_count = requests;
+  load_spec.seed = 7;
+
+  serve::InferenceServer server(spec, config);
+  const serve::Load load = serve::generate_load(spec, load_spec);
+  const serve::ServeReport report = server.run(load);
+
+  std::printf("serving %s: %zu requests, Poisson @ %.0f req/s, %zu replicas, "
+              "max_batch %zu, max_wait %llu cycles, queue %zu\n\n",
+              spec.name.c_str(), requests, rate_rps, replicas, config.batcher.max_batch_size,
+              static_cast<unsigned long long>(config.batcher.max_wait_cycles),
+              config.queue_capacity);
+  std::printf("%s", report.stats.render().c_str());
+  return 0;
+}
+
 int cmd_dse(const std::string& preset_name, const std::string& device_name) {
   const core::Preset preset = load_preset(preset_name);
   dse::DseOptions opts;
@@ -137,6 +181,12 @@ int main(int argc, char** argv) {
     if (cmd == "simulate") {
       const std::size_t batch = argc > 3 ? std::stoul(argv[3]) : 32;
       return cmd_simulate(load_design(design), batch);
+    }
+    if (cmd == "serve") {
+      const std::size_t requests = argc > 3 ? std::stoul(argv[3]) : 2000;
+      const double rate = argc > 4 ? std::stod(argv[4]) : 0.0;
+      const std::size_t replicas = argc > 5 ? std::stoul(argv[5]) : 2;
+      return cmd_serve(load_design(design), requests, rate, replicas);
     }
     if (cmd == "dse") return cmd_dse(design, argc > 3 ? argv[3] : "");
     if (cmd == "partition") {

@@ -1,14 +1,16 @@
 // Example: design reporting — block diagrams (paper Figs. 4/5), Graphviz
-// export, resource utilization (paper Table I) and the analytic timing
-// breakdown for any compiled network.
+// export with simulated FIFO pressure on the edges, resource utilization
+// (paper Table I) and the analytic timing breakdown for any compiled network.
 #include <cstdio>
 #include <fstream>
 
 #include "core/block_design.hpp"
+#include "core/harness.hpp"
 #include "core/presets.hpp"
 #include "dse/throughput_model.hpp"
 #include "hwmodel/cost_model.hpp"
 #include "hwmodel/power.hpp"
+#include "report/experiments.hpp"
 
 namespace {
 
@@ -33,9 +35,16 @@ void report(const dfc::core::NetworkSpec& spec) {
               timing.images_per_second(),
               power.estimate_watts(hw::estimate_design(spec).total));
 
+  // Simulate a short batch with stall accounting on, so the exported graph
+  // colours each stage boundary by its observed pressure (back-pressure vs
+  // starvation) instead of showing bare topology.
+  core::AcceleratorHarness harness(core::build_accelerator(spec));
+  harness.accelerator().ctx->set_stall_accounting(true);
+  harness.run_batch(report::random_images(spec, 8));
+
   const std::string dot_path = spec.name + ".dot";
   std::ofstream dot(dot_path);
-  dot << core::block_design_dot(spec);
+  dot << core::block_design_dot(spec, *harness.accelerator().ctx);
   std::printf("Graphviz file written to %s (render: dot -Tpng %s -o %s.png)\n\n",
               dot_path.c_str(), dot_path.c_str(), spec.name.c_str());
 }

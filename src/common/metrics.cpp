@@ -1,0 +1,183 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace dfc {
+
+namespace {
+
+/// Prints integral values without a decimal point so expositions are
+/// byte-stable across platforms ("12" rather than "12.000000").
+std::string num(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    std::ostringstream os;
+    os << static_cast<long long>(v);
+    return os.str();
+  }
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  DFC_REQUIRE(!bounds_.empty(), "histogram needs at least one finite bucket bound");
+  DFC_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+              "histogram bounds must be ascending");
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  std::lock_guard<std::mutex> lock(mu_);
+  ++buckets_[idx];
+  ++count_;
+  sum_ += v;
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_;
+}
+
+std::vector<double> exponential_buckets(double start, double factor, std::size_t count) {
+  DFC_REQUIRE(start > 0 && factor > 1 && count > 0, "invalid exponential bucket spec");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> linear_buckets(double start, double width, std::size_t count) {
+  DFC_REQUIRE(width > 0 && count > 0, "invalid linear bucket spec");
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(start + width * static_cast<double>(i));
+  }
+  return bounds;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::find(const std::string& name) {
+  for (Entry& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::add(const std::string& name, const std::string& help,
+                                             Kind kind) {
+  entries_.push_back(Entry{name, help, kind, nullptr, nullptr, nullptr});
+  return entries_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = find(name)) {
+    DFC_REQUIRE(e->kind == Kind::kCounter, "metric '" + name + "' already registered with a different type");
+    return *e->counter;
+  }
+  Entry& e = add(name, help, Kind::kCounter);
+  e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = find(name)) {
+    DFC_REQUIRE(e->kind == Kind::kGauge, "metric '" + name + "' already registered with a different type");
+    return *e->gauge;
+  }
+  Entry& e = add(name, help, Kind::kGauge);
+  e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, const std::string& help,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = find(name)) {
+    DFC_REQUIRE(e->kind == Kind::kHistogram, "metric '" + name + "' already registered with a different type");
+    return *e->histogram;
+  }
+  Entry& e = add(name, help, Kind::kHistogram);
+  e.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *e.histogram;
+}
+
+std::string MetricsRegistry::expose_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const Entry& e : entries_) {
+    os << "# HELP " << e.name << " " << e.help << "\n";
+    switch (e.kind) {
+      case Kind::kCounter:
+        os << "# TYPE " << e.name << " counter\n";
+        os << e.name << " " << e.counter->value() << "\n";
+        break;
+      case Kind::kGauge:
+        os << "# TYPE " << e.name << " gauge\n";
+        os << e.name << " " << num(e.gauge->value()) << "\n";
+        break;
+      case Kind::kHistogram: {
+        os << "# TYPE " << e.name << " histogram\n";
+        const auto buckets = e.histogram->bucket_counts();
+        const auto& bounds = e.histogram->bounds();
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < bounds.size(); ++i) {
+          cumulative += buckets[i];
+          os << e.name << "_bucket{le=\"" << num(bounds[i]) << "\"} " << cumulative << "\n";
+        }
+        cumulative += buckets.back();
+        os << e.name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+        os << e.name << "_sum " << num(e.histogram->sum()) << "\n";
+        os << e.name << "_count " << e.histogram->count() << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        out.emplace_back(e.name, static_cast<double>(e.counter->value()));
+        break;
+      case Kind::kGauge:
+        out.emplace_back(e.name, e.gauge->value());
+        break;
+      case Kind::kHistogram:
+        out.emplace_back(e.name + "_count", static_cast<double>(e.histogram->count()));
+        out.emplace_back(e.name + "_sum", e.histogram->sum());
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace dfc

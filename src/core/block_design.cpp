@@ -39,6 +39,62 @@ BlockInfo block_info(const LayerSpec& layer, const Shape3& in_shape) {
   return b;
 }
 
+// Aggregate pressure of the parallel port FIFOs crossing one stage boundary:
+// every FIFO named exactly `prefix` or `prefix` followed by a port number.
+struct EdgePressure {
+  std::size_t fifos = 0;
+  std::size_t capacity = 0;  ///< per-channel capacity (max across ports)
+  std::size_t max_occupancy = 0;
+  std::uint64_t pushes = 0;
+  std::uint64_t full_stalls = 0;
+  std::uint64_t empty_stalls = 0;
+};
+
+EdgePressure edge_pressure(const dfc::df::SimContext& ctx, const std::string& prefix) {
+  EdgePressure e;
+  for (std::size_t i = 0; i < ctx.fifo_count(); ++i) {
+    const dfc::df::FifoBase& f = ctx.fifo(i);
+    const std::string& n = f.name();
+    if (n.compare(0, prefix.size(), prefix) != 0) continue;
+    bool port_suffix = true;
+    for (std::size_t k = prefix.size(); k < n.size(); ++k) {
+      port_suffix = port_suffix && n[k] >= '0' && n[k] <= '9';
+    }
+    if (!port_suffix) continue;
+    const dfc::df::FifoStats& s = f.lifetime_stats();
+    ++e.fifos;
+    e.capacity = std::max(e.capacity, f.capacity());
+    e.max_occupancy = std::max(e.max_occupancy, s.max_occupancy);
+    e.pushes += s.pushes;
+    e.full_stalls += s.full_stall_cycles;
+    e.empty_stalls += s.empty_stall_cycles;
+  }
+  return e;
+}
+
+// DOT attribute list for one annotated edge. Before any traffic only the
+// capacity is shown; afterwards the label gains occupancy and stall counts
+// and the edge takes the colour of whichever stall direction dominates.
+std::string pressure_attrs(const EdgePressure& e, int channels) {
+  std::ostringstream os;
+  os << "label=\"" << channels << " ch\\ncap " << e.capacity;
+  if (e.pushes > 0) {
+    os << "\\nmax occ " << e.max_occupancy << "/" << e.capacity << "\\nfull "
+       << e.full_stalls << " / empty " << e.empty_stalls;
+  }
+  os << "\"";
+  if (e.pushes > 0) {
+    if (e.full_stalls > 0 && e.full_stalls >= e.empty_stalls) {
+      os << ", color=\"#c0392b\", fontcolor=\"#c0392b\", penwidth=2.0";
+    } else if (e.empty_stalls > 0) {
+      os << ", color=\"#2980b9\", fontcolor=\"#2980b9\"";
+    } else {
+      os << ", color=\"#27ae60\"";
+    }
+  }
+  return os.str();
+}
+
 std::string box(const BlockInfo& b) {
   std::size_t width = b.title.size();
   for (const auto& l : b.lines) width = std::max(width, l.size());
@@ -72,13 +128,21 @@ std::string block_design_ascii(const NetworkSpec& spec) {
   return os.str();
 }
 
-std::string block_design_dot(const NetworkSpec& spec) {
+namespace {
+
+// Shared body of the plain and pressure-annotated DOT exports. The stage
+// boundary feeding layer i maps onto FIFO names as the builder assigns them:
+// "dma.in" into the first layer, "L<i-1>.out<p>" between layers and into the
+// sink (the fcn output FIFO has no port suffix, which edge_pressure's
+// exact-prefix match also accepts).
+std::string block_design_dot_impl(const NetworkSpec& spec, const dfc::df::SimContext* ctx) {
   std::ostringstream os;
   os << "digraph \"" << spec.name << "\" {\n";
   os << "  rankdir=TB;\n  node [shape=record, fontname=\"Helvetica\"];\n";
   os << "  dma_in [label=\"DMA source|32-bit stream\\n400 MB/s\"];\n";
   Shape3 shape = spec.input_shape;
   std::string prev = "dma_in";
+  std::string prev_fifo_prefix = "dma.in";
   int prev_ports = 1;
   for (std::size_t i = 0; i < spec.layers.size(); ++i) {
     const LayerSpec& layer = spec.layers[i];
@@ -88,16 +152,37 @@ std::string block_design_dot(const NetworkSpec& spec) {
     for (const auto& l : b.lines) os << "|" << l;
     os << "\"];\n";
     const int in_p = layer_in_ports(layer);
-    os << "  " << prev << " -> " << id << " [label=\"" << std::max(prev_ports, in_p)
-       << " ch\"];\n";
+    const int channels = std::max(prev_ports, in_p);
+    if (ctx != nullptr) {
+      os << "  " << prev << " -> " << id << " ["
+         << pressure_attrs(edge_pressure(*ctx, prev_fifo_prefix), channels) << "];\n";
+    } else {
+      os << "  " << prev << " -> " << id << " [label=\"" << channels << " ch\"];\n";
+    }
     prev = id;
+    prev_fifo_prefix = "L" + std::to_string(i) + ".out";
     prev_ports = layer_out_ports(layer);
     shape = layer_out_shape(layer);
   }
   os << "  dma_out [label=\"DMA sink|" << shape.volume() << " class scores\"];\n";
-  os << "  " << prev << " -> dma_out;\n";
+  if (ctx != nullptr) {
+    os << "  " << prev << " -> dma_out ["
+       << pressure_attrs(edge_pressure(*ctx, prev_fifo_prefix), prev_ports) << "];\n";
+  } else {
+    os << "  " << prev << " -> dma_out;\n";
+  }
   os << "}\n";
   return os.str();
+}
+
+}  // namespace
+
+std::string block_design_dot(const NetworkSpec& spec) {
+  return block_design_dot_impl(spec, nullptr);
+}
+
+std::string block_design_dot(const NetworkSpec& spec, const dfc::df::SimContext& ctx) {
+  return block_design_dot_impl(spec, &ctx);
 }
 
 }  // namespace dfc::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace dfc::core {
 
@@ -72,6 +73,10 @@ void DmaSource::on_clock() {
     return;
   }
   if (words_into_image_ == 0) {
+    if (obs_trace_ != nullptr) {
+      obs_trace_->record(obs_id_, obs::EventKind::kImageStart, now(),
+                         static_cast<std::uint32_t>(images_started_));
+    }
     inject_cycles_.push_back(now());
     ++images_started_;
   }
@@ -118,12 +123,22 @@ DmaSink::DmaSink(std::string name, dfc::df::Fifo<Flit>& in, std::int64_t values_
 }
 
 void DmaSink::on_clock() {
-  if (!wants_bus(now())) return;
+  if (!wants_bus(now())) {
+    // The sink is ready for a word (pacing satisfied) but the result stream
+    // is empty: record the starvation. Only while observing — an empty input
+    // otherwise lets the sink sleep under the activity-aware scheduler.
+    if (obs_enabled_ && now() >= next_recv_cycle_ && !in_.can_pop()) in_.note_empty_stall();
+    return;
+  }
   if (bus_ != nullptr && !bus_->grant_sink(now())) return;
   current_.push_back(in_.pop().data);
   next_recv_cycle_ = now() + static_cast<std::uint64_t>(cycles_per_word_);
   if (bus_ != nullptr) bus_->consume(now());
   if (static_cast<std::int64_t>(current_.size()) == values_per_image_) {
+    if (obs_trace_ != nullptr) {
+      obs_trace_->record(obs_id_, obs::EventKind::kImageDone, now(),
+                         static_cast<std::uint32_t>(completion_cycles_.size()));
+    }
     completion_cycles_.push_back(now());
     outputs_.push_back(std::move(current_));
     current_.clear();

@@ -22,6 +22,7 @@
 
 #include "common/error.hpp"
 #include "common/ring_buffer.hpp"
+#include "obs/trace.hpp"
 
 namespace dfc::df {
 
@@ -33,7 +34,14 @@ struct FifoStats {
   std::uint64_t pushes = 0;
   std::uint64_t pops = 0;
   std::size_t max_occupancy = 0;
-  std::uint64_t full_stall_cycles = 0;  ///< cycles where a push was refused
+  std::uint64_t full_stall_cycles = 0;   ///< cycles where a push was refused
+  /// Cycles where a consumer wanted to pop but the FIFO was empty. Only
+  /// counted while the owning SimContext observes (stall accounting or
+  /// tracing on): consumers with nothing to read are allowed to sleep under
+  /// the activity-aware scheduler, so an always-on count could not be exact.
+  /// Observation forces the every-process-every-cycle scheduler, making the
+  /// starvation count complete.
+  std::uint64_t empty_stall_cycles = 0;
 };
 
 /// Type-erased base so the scheduler can commit FIFOs of any element type.
@@ -71,6 +79,16 @@ class FifoBase {
   /// Clears contents and per-cycle state (not statistics).
   virtual void reset() = 0;
 
+  /// Records that a consumer wanted to pop but the FIFO was empty. Callers
+  /// must invoke this only while the owning context observes (see
+  /// FifoStats::empty_stall_cycles); instrumented consumers gate the call on
+  /// their observation flag.
+  void note_empty_stall() {
+    ++stats_.empty_stall_cycles;
+    ++lifetime_.empty_stall_cycles;
+    trace_record(obs::EventKind::kEmptyStall);
+  }
+
  protected:
   /// Registers this FIFO on its context's dirty list the first time it sees a
   /// push or pop in the current cycle, so the scheduler only commits FIFOs
@@ -81,6 +99,12 @@ class FifoBase {
       pending_commit_ = true;
       if (dirty_list_ != nullptr) dirty_list_->push_back(this);
     }
+  }
+
+  /// Emits a trace event when the owning context has a sink attached; one
+  /// predicted-not-taken branch otherwise.
+  void trace_record(obs::EventKind kind, std::uint32_t value = 0) {
+    if (obs_trace_ != nullptr) obs_trace_->record(obs_id_, kind, *obs_cycle_, value);
   }
 
   std::string name_;
@@ -94,6 +118,11 @@ class FifoBase {
   std::vector<FifoBase*>* dirty_list_ = nullptr;
   std::vector<Process*> watchers_;
   bool pending_commit_ = false;
+
+  // Observability hookup, maintained by SimContext::attach_trace.
+  obs::TraceSink* obs_trace_ = nullptr;
+  const std::uint64_t* obs_cycle_ = nullptr;
+  std::uint32_t obs_id_ = 0;
 };
 
 template <typename T>
@@ -127,6 +156,7 @@ class Fifo final : public FifoBase {
     ++stats_.pops;
     ++lifetime_.pops;
     mark_pending();
+    trace_record(obs::EventKind::kPop);
     return items_.pop();
   }
 
@@ -140,12 +170,14 @@ class Fifo final : public FifoBase {
     ++stats_.pushes;
     ++lifetime_.pushes;
     mark_pending();
+    trace_record(obs::EventKind::kPush);
   }
 
   /// Records that a producer wanted to push but could not (for stall stats).
   void note_full_stall() {
     ++stats_.full_stall_cycles;
     ++lifetime_.full_stall_cycles;
+    trace_record(obs::EventKind::kFullStall);
   }
 
   std::size_t size() const override { return items_.size() + pending_count_; }

@@ -5,6 +5,10 @@
 #include <string>
 #include <vector>
 
+namespace dfc::obs {
+class TraceSink;
+}
+
 namespace dfc::df {
 
 class FifoBase;
@@ -67,6 +71,15 @@ class Process {
 
   friend class SimContext;
   SimContext* ctx_ = nullptr;
+
+  // Observability hookup, maintained by SimContext. While observing, the
+  // context steps every process every cycle (see sim_context.hpp), so
+  // obs_enabled_-gated bookkeeping inside on_clock() sees every cycle and is
+  // exempt from the wake_cycle() no-op contract. obs_trace_ is non-null only
+  // when a TraceSink is attached; obs_id_ is this process's entity id there.
+  bool obs_enabled_ = false;
+  obs::TraceSink* obs_trace_ = nullptr;
+  std::uint32_t obs_id_ = 0;
 
  private:
   std::string name_;

@@ -27,7 +27,9 @@ void SimContext::prepare_schedule() {
 
 void SimContext::step() {
   if (!schedule_prepared_) prepare_schedule();
-  if (paranoid_) {
+  if (observing()) {
+    step_observed();
+  } else if (paranoid_) {
     step_checked();
   } else if (activity_aware_) {
     step_active();
@@ -55,6 +57,16 @@ void SimContext::step_naive() {
     f->pending_commit_ = false;
   }
   finish_cycle(any_activity);
+}
+
+void SimContext::step_observed() {
+  // Naive semantics (every process runs, every FIFO commits) so the
+  // obs_enabled_-gated per-cycle bookkeeping inside on_clock() — empty-stall
+  // noting, activity classification — sees each cycle exactly once. The
+  // conservative event flags set by step_naive keep a later switch back to
+  // the activity-aware scheduler sound.
+  step_naive();
+  ++observed_cycles_;
 }
 
 void SimContext::step_active() {
@@ -97,7 +109,7 @@ std::uint64_t SimContext::total_fifo_side_effects() const {
   std::uint64_t total = 0;
   for (const auto& f : fifos_) {
     const FifoStats& s = f->lifetime_stats();
-    total += s.pushes + s.pops + s.full_stall_cycles;
+    total += s.pushes + s.pops + s.full_stall_cycles + s.empty_stall_cycles;
   }
   return total;
 }
@@ -151,8 +163,11 @@ void SimContext::step_checked() {
 
 std::uint64_t SimContext::fast_forward(std::uint64_t limit_cycle) {
   // Only valid straight after an idle cycle: any FIFO activity means some
-  // process may act next cycle.
-  if (idle_cycles_ == 0 || !schedule_prepared_ || !activity_aware_ || paranoid_) return 0;
+  // process may act next cycle. While observing, every cycle must be stepped
+  // (and classified) explicitly, so jumping is off the table.
+  if (idle_cycles_ == 0 || !schedule_prepared_ || !activity_aware_ || paranoid_ || observing()) {
+    return 0;
+  }
   std::uint64_t wake = Process::kNeverWake;
   for (const auto& p : processes_) {
     // An always-awake or freshly-evented process may act at any cycle. A
@@ -222,10 +237,55 @@ void SimContext::reset() {
   }
   cycle_ = 0;
   idle_cycles_ = 0;
+  observed_cycles_ = 0;
 }
 
 void SimContext::reset_fifo_stats() {
   for (auto& f : fifos_) f->reset_stats();
+}
+
+void SimContext::obs_register(FifoBase& f) {
+  f.obs_id_ = trace_->register_entity(f.name(), obs::EntityKind::kFifo, f.capacity());
+  f.obs_trace_ = trace_;
+  f.obs_cycle_ = &cycle_;
+}
+
+void SimContext::obs_register(Process& p) {
+  p.obs_id_ = trace_->register_entity(p.name(), obs::EntityKind::kProcess);
+  p.obs_trace_ = trace_;
+}
+
+void SimContext::sync_obs_flags() {
+  const bool on = observing();
+  for (auto& p : processes_) p->obs_enabled_ = on;
+}
+
+void SimContext::attach_trace(obs::TraceSink* sink) {
+  if (sink == trace_) return;
+  if (sink != nullptr) {
+    DFC_REQUIRE(trace_ == nullptr, "attach_trace: a sink is already attached");
+    DFC_REQUIRE(sink->entities().empty(),
+                "attach_trace requires a fresh TraceSink (entity ids must match this context)");
+    trace_ = sink;
+    // Registration order (FIFOs first, then processes, each in registration
+    // order) is deterministic, which keeps entity ids — and therefore the
+    // exported trace bytes — identical across runs.
+    for (auto& f : fifos_) obs_register(*f);
+    for (auto& p : processes_) obs_register(*p);
+  } else {
+    trace_ = nullptr;
+    for (auto& f : fifos_) {
+      f->obs_trace_ = nullptr;
+      f->obs_cycle_ = nullptr;
+    }
+    for (auto& p : processes_) p->obs_trace_ = nullptr;
+  }
+  sync_obs_flags();
+}
+
+void SimContext::set_stall_accounting(bool on) {
+  stall_accounting_ = on;
+  sync_obs_flags();
 }
 
 std::string SimContext::fifo_report() const {
@@ -235,7 +295,8 @@ std::string SimContext::fifo_report() const {
     os << "  " << f->name() << ": " << f->size() << "/" << f->capacity()
        << " (pushes=" << f->lifetime_stats().pushes << " pops=" << f->lifetime_stats().pops
        << " max=" << f->lifetime_stats().max_occupancy
-       << " full_stalls=" << f->lifetime_stats().full_stall_cycles << ")\n";
+       << " full_stalls=" << f->lifetime_stats().full_stall_cycles
+       << " empty_stalls=" << f->lifetime_stats().empty_stall_cycles << ")\n";
   }
   return os.str();
 }

@@ -28,6 +28,15 @@
 // catches mis-sized FIFOs and protocol bugs the same way a hung HLS cosim
 // would. fast_forward() accounts jumped cycles as idle, so the watchdog and
 // cycle budget fire at exactly the same cycle as under the naive loop.
+//
+// Observation mode (attach_trace / set_stall_accounting) layers cycle-exact
+// visibility on top: every FIFO push/pop/stall emits a TraceSink event and
+// every compute core classifies every cycle (working / starved /
+// back-pressured / idle). Observation forces the naive every-process-every-
+// cycle scheduler — skipped cycles cannot be classified — and disables
+// fast_forward, trading speed for completeness. With nothing attached the
+// only cost on the hot path is a null-pointer branch per FIFO operation,
+// keeping the disabled-mode overhead within noise.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +48,7 @@
 #include "common/error.hpp"
 #include "dataflow/fifo.hpp"
 #include "dataflow/process.hpp"
+#include "obs/trace.hpp"
 
 namespace dfc::df {
 
@@ -61,6 +71,8 @@ class SimContext {
     ref.ctx_ = this;
     processes_.push_back(std::move(owned));
     schedule_prepared_ = false;
+    if (trace_ != nullptr) obs_register(ref);
+    ref.obs_enabled_ = observing();
     return ref;
   }
 
@@ -72,6 +84,7 @@ class SimContext {
     ref.dirty_list_ = &dirty_fifos_;
     fifos_.push_back(std::move(owned));
     schedule_prepared_ = false;
+    if (trace_ != nullptr) obs_register(ref);
     return ref;
   }
 
@@ -116,12 +129,36 @@ class SimContext {
   void set_paranoid(bool on) { paranoid_ = on; }
   bool paranoid() const { return paranoid_; }
 
+  /// Attaches an event sink: every FIFO and process is registered as a trace
+  /// entity and all push/pop/stall/state events are recorded until detach
+  /// (attach_trace(nullptr)). The sink must be fresh (no entities yet) and
+  /// must outlive the attachment. Tracing implies observation: the context
+  /// steps every process every cycle while a sink is attached.
+  void attach_trace(obs::TraceSink* sink);
+  obs::TraceSink* trace() const { return trace_; }
+
+  /// Turns on cycle-exact stall accounting (empty-stall counts, per-core
+  /// activity classification) without recording events. Like tracing this
+  /// forces the every-process-every-cycle scheduler.
+  void set_stall_accounting(bool on);
+  bool stall_accounting() const { return stall_accounting_; }
+
+  /// True while either a trace sink is attached or stall accounting is on.
+  bool observing() const { return trace_ != nullptr || stall_accounting_; }
+
+  /// Cycles stepped while observing (since construction/reset). Per-core
+  /// activity buckets sum to exactly this value.
+  std::uint64_t observed_cycles() const { return observed_cycles_; }
+
   std::size_t process_count() const { return processes_.size(); }
   std::size_t fifo_count() const { return fifos_.size(); }
 
   /// Read-only view of FIFO i in registration order (stats comparisons in
   /// tests and reports).
   const FifoBase& fifo(std::size_t i) const { return *fifos_.at(i); }
+
+  /// Read-only view of process i in registration order.
+  const Process& process(std::size_t i) const { return *processes_.at(i); }
 
   /// Multi-line occupancy report of every FIFO (for diagnostics). Reports
   /// lifetime statistics so the numbers survive harness resets.
@@ -137,9 +174,13 @@ class SimContext {
   void step_naive();
   void step_active();
   void step_checked();
+  void step_observed();
   void finish_cycle(bool any_activity);
   [[noreturn]] void throw_deadlock() const;
   std::uint64_t total_fifo_side_effects() const;
+  void obs_register(FifoBase& f);
+  void obs_register(Process& p);
+  void sync_obs_flags();
 
   std::vector<std::unique_ptr<Process>> processes_;
   std::vector<std::unique_ptr<FifoBase>> fifos_;
@@ -150,6 +191,10 @@ class SimContext {
   bool activity_aware_ = true;
   bool paranoid_ = false;
   bool schedule_prepared_ = false;
+
+  obs::TraceSink* trace_ = nullptr;     ///< non-owning; null = tracing off
+  bool stall_accounting_ = false;
+  std::uint64_t observed_cycles_ = 0;
 };
 
 }  // namespace dfc::df

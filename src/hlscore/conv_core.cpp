@@ -57,9 +57,29 @@ void ConvCore::on_clock() {
   // Emission and gather share the cycle; the pipeline queue decouples them so
   // the position interval is max(gather_beats, emit_beats) at steady state.
   worked_this_cycle_ = false;
+  blocked_output_ = false;
+  blocked_retire_ = false;
   try_emit();
   try_gather();
   if (worked_this_cycle_) ++work_cycles_;
+  if (obs_enabled_) {
+    // Exactly one bucket per observed cycle, working > back-pressured >
+    // starved > idle. "In progress" means a position is mid-gather, data is
+    // in the pipeline, or an emission is half done — empty inputs then count
+    // as starvation; with nothing in progress they are plain idle.
+    obs::CoreState s;
+    const bool in_progress = group_ != 0 || !in_flight_.empty() || emit_beat_ != 0;
+    if (worked_this_cycle_) {
+      s = obs::CoreState::kWorking;
+    } else if (blocked_output_ || blocked_retire_) {
+      s = obs::CoreState::kBackPressured;
+    } else if (in_progress) {
+      s = obs::CoreState::kStarved;
+    } else {
+      s = obs::CoreState::kIdle;
+    }
+    activity_.tick(s, now(), obs_trace_, obs_id_);
+  }
 }
 
 void ConvCore::try_emit() {
@@ -68,6 +88,7 @@ void ConvCore::try_emit() {
   for (auto* port : out_) {
     if (!port->can_push()) {
       port->note_full_stall();
+      blocked_output_ = true;
       return;
     }
   }
@@ -95,10 +116,18 @@ void ConvCore::try_gather() {
   const bool completing = (group_ == cfg_.gather_beats() - 1);
   if (completing && in_flight_.size() >= in_flight_limit_) {
     ++gather_stalls_;
+    blocked_retire_ = true;
     return;
   }
   for (auto* port : win_in_) {
-    if (!port->can_pop()) return;
+    if (!port->can_pop()) {
+      if (obs_enabled_) {
+        for (auto* q : win_in_) {
+          if (!q->can_pop()) q->note_empty_stall();
+        }
+      }
+      return;
+    }
   }
 
   if (group_ == 0) {
@@ -187,6 +216,9 @@ void ConvCore::reset() {
   gather_stalls_ = 0;
   work_cycles_ = 0;
   worked_this_cycle_ = false;
+  activity_.reset();
+  blocked_output_ = false;
+  blocked_retire_ = false;
 }
 
 }  // namespace dfc::hls

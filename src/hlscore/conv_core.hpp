@@ -24,6 +24,7 @@
 #include "dataflow/process.hpp"
 #include "hlscore/activation.hpp"
 #include "hlscore/op_latency.hpp"
+#include "obs/activity.hpp"
 #include "sst/window.hpp"
 
 namespace dfc::hls {
@@ -91,6 +92,10 @@ class ConvCore final : public dfc::df::Process {
   /// divided by elapsed cycles this is the stage utilization.
   std::uint64_t work_cycles() const { return work_cycles_; }
 
+  /// Per-cycle activity attribution; populated only while the owning context
+  /// observes (see obs/activity.hpp).
+  const obs::CoreActivity& activity() const { return activity_.counts(); }
+
  private:
   void try_emit();
   void try_gather();
@@ -124,6 +129,11 @@ class ConvCore final : public dfc::df::Process {
   std::uint64_t gather_stalls_ = 0;
   std::uint64_t work_cycles_ = 0;
   bool worked_this_cycle_ = false;
+
+  // Observation-only bookkeeping (obs_enabled_ gated; see process.hpp).
+  obs::ActivityTracker activity_;
+  bool blocked_output_ = false;  ///< emit refused by a full output port this cycle
+  bool blocked_retire_ = false;  ///< gather refused by a full pipeline queue this cycle
 };
 
 }  // namespace dfc::hls

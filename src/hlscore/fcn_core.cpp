@@ -38,15 +38,37 @@ FcnCore::FcnCore(std::string name, FcnCoreConfig config, dfc::df::Fifo<Flit>& in
 
 void FcnCore::on_clock() {
   worked_this_cycle_ = false;
+  blocked_output_ = false;
+  blocked_retire_ = false;
+  lane_wait_ = false;
   try_emit();
   try_accumulate();
   if (worked_this_cycle_) ++work_cycles_;
+  if (obs_enabled_) {
+    // Exactly one bucket per observed cycle; lane-hazard waits count as
+    // working (see activity() doc), a blocked emit or drain queue as
+    // back-pressure, and empty input as starvation only while an image is in
+    // progress somewhere in the core.
+    obs::CoreState s;
+    const bool in_progress = input_index_ != 0 || !in_flight_.empty() || emit_index_ != 0;
+    if (worked_this_cycle_ || lane_wait_) {
+      s = obs::CoreState::kWorking;
+    } else if (blocked_output_ || blocked_retire_) {
+      s = obs::CoreState::kBackPressured;
+    } else if (in_progress) {
+      s = obs::CoreState::kStarved;
+    } else {
+      s = obs::CoreState::kIdle;
+    }
+    activity_.tick(s, now(), obs_trace_, obs_id_);
+  }
 }
 
 void FcnCore::try_emit() {
   if (in_flight_.empty() || now() < in_flight_.front().ready_cycle) return;
   if (!out_.can_push()) {
     out_.note_full_stall();
+    blocked_output_ = true;
     return;
   }
   Flit f;
@@ -63,16 +85,23 @@ void FcnCore::try_emit() {
 }
 
 void FcnCore::try_accumulate() {
-  if (!in_.can_pop()) return;
+  if (!in_.can_pop()) {
+    if (obs_enabled_) in_.note_empty_stall();
+    return;
+  }
 
   // The image retires into a drain-pipeline slot on its last input.
   const bool completing = (input_index_ == cfg_.in_count - 1);
-  if (completing && in_flight_.size() >= in_flight_limit_) return;
+  if (completing && in_flight_.size() >= in_flight_limit_) {
+    blocked_retire_ = true;
+    return;
+  }
 
   // The accumulator lane for this input must have finished its previous add.
   const auto lane = static_cast<std::size_t>(input_index_ % cfg_.num_accumulators);
   if (now() < lane_busy_until_[lane]) {
     ++lane_stalls_;
+    lane_wait_ = true;
     return;
   }
 
@@ -133,6 +162,10 @@ void FcnCore::reset() {
   lane_stalls_ = 0;
   work_cycles_ = 0;
   worked_this_cycle_ = false;
+  activity_.reset();
+  blocked_output_ = false;
+  blocked_retire_ = false;
+  lane_wait_ = false;
   std::fill(lane_busy_until_.begin(), lane_busy_until_.end(), 0);
 }
 

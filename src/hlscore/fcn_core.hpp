@@ -24,6 +24,7 @@
 #include "dataflow/process.hpp"
 #include "hlscore/activation.hpp"
 #include "hlscore/op_latency.hpp"
+#include "obs/activity.hpp"
 
 namespace dfc::hls {
 
@@ -75,6 +76,11 @@ class FcnCore final : public dfc::df::Process {
   /// Cycles in which the core did any work (accumulated or emitted).
   std::uint64_t work_cycles() const { return work_cycles_; }
 
+  /// Per-cycle activity attribution (only while the context observes). A
+  /// lane-hazard wait counts as working: the arithmetic pipeline, not a
+  /// neighbour, is the limiter.
+  const obs::CoreActivity& activity() const { return activity_.counts(); }
+
  private:
   void try_emit();
   void try_accumulate();
@@ -103,6 +109,12 @@ class FcnCore final : public dfc::df::Process {
   std::uint64_t lane_stalls_ = 0;
   std::uint64_t work_cycles_ = 0;
   bool worked_this_cycle_ = false;
+
+  // Observation-only bookkeeping (obs_enabled_ gated; see process.hpp).
+  obs::ActivityTracker activity_;
+  bool blocked_output_ = false;  ///< emit refused by the full output FIFO this cycle
+  bool blocked_retire_ = false;  ///< last input refused by a full drain queue this cycle
+  bool lane_wait_ = false;       ///< input waited on a busy accumulator lane this cycle
 };
 
 }  // namespace dfc::hls

@@ -14,9 +14,13 @@ PoolCore::PoolCore(std::string name, PoolCoreConfig config, dfc::df::Fifo<Window
 }
 
 void PoolCore::on_clock() {
-  if (!in_.can_pop()) return;
+  if (!in_.can_pop()) {
+    if (obs_enabled_) activity_.tick(obs::CoreState::kIdle, now(), obs_trace_, obs_id_);
+    return;
+  }
   if (!out_.can_push()) {
     out_.note_full_stall();
+    if (obs_enabled_) activity_.tick(obs::CoreState::kBackPressured, now(), obs_trace_, obs_id_);
     return;
   }
   const Window w = in_.pop();
@@ -38,6 +42,7 @@ void PoolCore::on_clock() {
   f.last = w.last_of_image;
   out_.push(f);
   ++outputs_produced_;
+  if (obs_enabled_) activity_.tick(obs::CoreState::kWorking, now(), obs_trace_, obs_id_);
 }
 
 }  // namespace dfc::hls

@@ -14,6 +14,7 @@
 #include "dataflow/fifo.hpp"
 #include "dataflow/process.hpp"
 #include "hlscore/op_latency.hpp"
+#include "obs/activity.hpp"
 #include "sst/window.hpp"
 
 namespace dfc::hls {
@@ -44,7 +45,10 @@ class PoolCore final : public dfc::df::Process {
            dfc::df::Fifo<dfc::axis::Flit>& stream_out);
 
   void on_clock() override;
-  void reset() override { outputs_produced_ = 0; }
+  void reset() override {
+    outputs_produced_ = 0;
+    activity_.reset();
+  }
   // With input available the core either pools or notes an output stall
   // every cycle; without input it is fully idle.
   std::uint64_t wake_cycle() const override { return in_.can_pop() ? now() : kNeverWake; }
@@ -56,11 +60,18 @@ class PoolCore final : public dfc::df::Process {
   /// Cycles in which the core processed a window (= outputs, II is 1).
   std::uint64_t work_cycles() const { return outputs_produced_; }
 
+  /// Per-cycle activity attribution (only while the context observes). A
+  /// pool's window stream is sparse by design — the window buffer emits one
+  /// window per stride position — so an empty input is the core's natural
+  /// duty cycle and counts as idle, never starved.
+  const obs::CoreActivity& activity() const { return activity_.counts(); }
+
  private:
   PoolCoreConfig cfg_;
   dfc::df::Fifo<sst::Window>& in_;
   dfc::df::Fifo<dfc::axis::Flit>& out_;
   std::uint64_t outputs_produced_ = 0;
+  obs::ActivityTracker activity_;
 };
 
 }  // namespace dfc::hls

@@ -1,0 +1,101 @@
+// Per-core activity classification: the paper's steady-state claim ("all the
+// different layers of the network will be concurrently active", Sec. IV-C)
+// made measurable. Every observed cycle of a compute core falls into exactly
+// one bucket:
+//
+//   working        — the datapath did something this cycle (gathered a beat,
+//                    accumulated an input, emitted an output). Internal
+//                    structural hazards that keep the arithmetic pipeline
+//                    occupied (e.g. the FCN accumulator-lane wait) also
+//                    count as working: the core, not a neighbour, is the
+//                    limiter.
+//   starved        — the core wanted input but its input FIFO(s) were empty
+//                    while it still had work in progress (mid-position, data
+//                    in flight, or pending emission).
+//   back_pressured — the core had results ready but a full output FIFO (or a
+//                    full retire queue feeding one) refused them.
+//   idle           — nothing in progress and no input: pipeline fill before
+//                    the first datum and drain after the last.
+//
+// The buckets therefore sum exactly to the number of observed cycles, which
+// is what turns aggregate utilization into stall *attribution*: a starved
+// core points the finger upstream, a back-pressured one downstream.
+//
+// Counting happens only while a SimContext observes (stall accounting or
+// tracing enabled) — observation forces the exact every-process-every-cycle
+// scheduler, so the buckets are complete, and the disabled mode stays free.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/trace.hpp"
+
+namespace dfc::obs {
+
+enum class CoreState : std::uint8_t {
+  kIdle = 0,
+  kWorking = 1,
+  kStarved = 2,
+  kBackPressured = 3,
+};
+
+inline const char* core_state_name(CoreState s) {
+  switch (s) {
+    case CoreState::kIdle: return "idle";
+    case CoreState::kWorking: return "working";
+    case CoreState::kStarved: return "starved";
+    case CoreState::kBackPressured: return "back_pressured";
+  }
+  return "?";
+}
+
+/// Cycle totals per bucket. Zero-initialized; reset with `*this = {}`.
+struct CoreActivity {
+  std::uint64_t working = 0;
+  std::uint64_t starved = 0;
+  std::uint64_t back_pressured = 0;
+  std::uint64_t idle = 0;
+
+  std::uint64_t total() const { return working + starved + back_pressured + idle; }
+
+  CoreActivity operator-(const CoreActivity& o) const {
+    return CoreActivity{working - o.working, starved - o.starved,
+                        back_pressured - o.back_pressured, idle - o.idle};
+  }
+};
+
+/// Held by each compute core: accumulates the buckets and emits a kCoreState
+/// trace event whenever the classification changes (so steady state costs
+/// almost nothing in trace volume).
+class ActivityTracker {
+ public:
+  /// Classify the cycle just executed. `trace`/`entity` may be null/unused
+  /// when only counting.
+  void tick(CoreState s, std::uint64_t cycle, TraceSink* trace, std::uint32_t entity) {
+    switch (s) {
+      case CoreState::kIdle: ++counts_.idle; break;
+      case CoreState::kWorking: ++counts_.working; break;
+      case CoreState::kStarved: ++counts_.starved; break;
+      case CoreState::kBackPressured: ++counts_.back_pressured; break;
+    }
+    if (trace != nullptr && (!has_last_ || s != last_)) {
+      trace->record(entity, EventKind::kCoreState, cycle, static_cast<std::uint32_t>(s));
+    }
+    last_ = s;
+    has_last_ = true;
+  }
+
+  const CoreActivity& counts() const { return counts_; }
+
+  void reset() {
+    counts_ = CoreActivity{};
+    has_last_ = false;
+  }
+
+ private:
+  CoreActivity counts_{};
+  CoreState last_ = CoreState::kIdle;
+  bool has_last_ = false;
+};
+
+}  // namespace dfc::obs

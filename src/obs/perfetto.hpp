@@ -1,0 +1,33 @@
+// Chrome/Perfetto trace_event JSON export of a recorded TraceSink.
+//
+// The exported file loads directly in https://ui.perfetto.dev (or
+// chrome://tracing) and renders a whole batch as a waterfall:
+//   * fake process 1 "cores": one track per compute core / DMA endpoint,
+//     with duration slices for the working / starved / back_pressured
+//     activity states (idle renders as a gap) and one tiny "img N" slice per
+//     image at injection and completion, connected by flow arrows — the
+//     high-level pipeline's image overlap made visible;
+//   * fake process 2 "fifos": one counter track per FIFO showing its
+//     occupancy over time, plus a slice track with merged full_stall /
+//     empty_stall windows (the back-pressure and starvation pressure on each
+//     channel).
+//
+// Timestamps are simulation cycles, not wall time (1 "us" in the UI = 1
+// cycle); everything emitted is integer-valued and ordered by entity id and
+// record order, so the same trace always serializes to the same bytes.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace dfc::obs {
+
+/// Streams the trace_event JSON document to `os`.
+void write_perfetto_trace(const TraceSink& sink, std::ostream& os);
+
+/// Convenience: the same document as a string (tests, small traces).
+std::string perfetto_trace_json(const TraceSink& sink);
+
+}  // namespace dfc::obs

@@ -15,6 +15,7 @@
 #include "core/network_spec.hpp"
 #include "hwmodel/cost_model.hpp"
 #include "hwmodel/power.hpp"
+#include "obs/activity.hpp"
 
 namespace dfc::report {
 
@@ -74,5 +75,37 @@ struct StageUtilization {
 };
 std::vector<StageUtilization> pipeline_profile(const dfc::core::Accelerator& acc,
                                                std::uint64_t elapsed_cycles);
+
+/// pipeline_profile restricted to the steady-state window. Runs the batch
+/// itself: when the first image completes it snapshots every core's work
+/// counter, then computes utilization as (work - warm-up work) over the
+/// cycles from first to last completion. Including the pipeline-fill warm-up
+/// in the denominator (as raw pipeline_profile over total_cycles does)
+/// systematically deflates every stage's utilization, most visibly for small
+/// batches and deep networks.
+struct SteadyProfile {
+  dfc::core::BatchResult result;
+  std::vector<StageUtilization> rows;  ///< over the steady window only
+  std::uint64_t steady_cycles = 0;     ///< first completion -> last completion
+};
+SteadyProfile pipeline_profile_steady(
+    dfc::core::AcceleratorHarness& harness, const std::vector<Tensor>& images,
+    std::uint64_t max_cycles = dfc::df::SimContext::kDefaultMaxCycles);
+
+/// One row of the stall-attribution report: a core's observed cycles split
+/// into working / starved / back-pressured / idle (see obs/activity.hpp).
+/// Valid after a run with observation enabled on the accelerator's context
+/// (set_stall_accounting(true) or an attached TraceSink); each row's buckets
+/// then sum exactly to SimContext::observed_cycles().
+struct StageAttribution {
+  std::string name;
+  dfc::obs::CoreActivity activity;
+};
+std::vector<StageAttribution> stall_attribution(const dfc::core::Accelerator& acc);
+
+/// ASCII table of stall_attribution() with per-bucket percentages — the
+/// attribution upgrade of the utilization-only profile: a starved core points
+/// the finger upstream, a back-pressured one downstream.
+std::string format_stall_attribution(const dfc::core::Accelerator& acc);
 
 }  // namespace dfc::report

@@ -14,9 +14,12 @@ Admission RequestQueue::try_push(const Request& r) {
   std::lock_guard<std::mutex> lock(mu_);
   if (q_.size() >= capacity_) {
     ++shed_;
+    if (shed_metric_ != nullptr) shed_metric_->inc();
     return Admission::kShed;
   }
   q_.push_back(r);
+  if (admitted_metric_ != nullptr) admitted_metric_->inc();
+  if (depth_metric_ != nullptr) depth_metric_->set(static_cast<double>(q_.size()));
   return Admission::kAccepted;
 }
 
@@ -32,6 +35,7 @@ std::optional<Request> RequestQueue::try_pop() {
   if (q_.empty()) return std::nullopt;
   Request r = q_.front();
   q_.pop_front();
+  if (depth_metric_ != nullptr) depth_metric_->set(static_cast<double>(q_.size()));
   return r;
 }
 
@@ -49,6 +53,15 @@ std::size_t RequestQueue::size() const {
 std::uint64_t RequestQueue::shed_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return shed_;
+}
+
+void RequestQueue::attach_metrics(dfc::MetricsRegistry& registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  admitted_metric_ = &registry.counter("serve_requests_admitted_total",
+                                       "Requests accepted into the admission queue");
+  shed_metric_ =
+      &registry.counter("serve_requests_shed_total", "Requests rejected because the queue was full");
+  depth_metric_ = &registry.gauge("serve_queue_depth", "Current admission queue depth");
 }
 
 }  // namespace dfc::serve

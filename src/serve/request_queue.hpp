@@ -14,6 +14,7 @@
 #include <mutex>
 #include <optional>
 
+#include "common/metrics.hpp"
 #include "serve/load_generator.hpp"
 
 namespace dfc::serve {
@@ -48,11 +49,21 @@ class RequestQueue {
   /// Requests rejected by try_push/push since construction.
   std::uint64_t shed_count() const;
 
+  /// Registers this queue's metrics (admitted/shed counters, depth gauge) in
+  /// `registry` and keeps them updated from every push/pop. The registry must
+  /// outlive the queue.
+  void attach_metrics(dfc::MetricsRegistry& registry);
+
  private:
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::deque<Request> q_;
   std::uint64_t shed_ = 0;
+
+  // Optional metrics hookup (null until attach_metrics); updated under mu_.
+  dfc::Counter* admitted_metric_ = nullptr;
+  dfc::Counter* shed_metric_ = nullptr;
+  dfc::Gauge* depth_metric_ = nullptr;
 };
 
 }  // namespace dfc::serve

@@ -70,6 +70,9 @@ struct ServeReport {
   ServeStats stats;
   std::vector<RequestOutcome> outcomes;
   std::vector<BatchRecord> batch_records;
+  /// Periodic metric snapshots (CSV text, header + one row per sample);
+  /// empty unless ServeConfig::metrics_snapshot_cycles is set.
+  std::string metrics_csv;
 };
 
 }  // namespace dfc::serve

@@ -1,8 +1,10 @@
 #include "serve/server.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <string>
 
+#include "common/csv.hpp"
 #include "common/math_util.hpp"
 #include "core/harness.hpp"
 #include "serve/request_queue.hpp"
@@ -86,6 +88,52 @@ ServeReport plan_serving(const std::vector<Request>& requests, const ServeConfig
   RequestQueue queue(config.queue_capacity);
   std::vector<std::uint64_t> busy_until(config.replicas, 0);
 
+  // Optional metrics hookup: every figure below is derived from the simulated
+  // timeline (no wall clock), so the registry contents are deterministic.
+  dfc::Counter* batches_metric = nullptr;
+  dfc::Counter* completed_metric = nullptr;
+  dfc::Counter* replica_busy_metric = nullptr;
+  dfc::Histogram* batch_size_metric = nullptr;
+  dfc::Histogram* latency_metric = nullptr;
+  if (config.metrics != nullptr) {
+    queue.attach_metrics(*config.metrics);
+    batches_metric = &config.metrics->counter("serve_batches_total", "Batches dispatched");
+    completed_metric =
+        &config.metrics->counter("serve_requests_completed_total", "Requests completed");
+    replica_busy_metric = &config.metrics->counter(
+        "serve_replica_busy_cycles_total", "Cycles replicas spent executing batches");
+    batch_size_metric = &config.metrics->histogram(
+        "serve_batch_size", "Dispatched batch sizes",
+        dfc::linear_buckets(1.0, 1.0, config.batcher.max_batch_size));
+    latency_metric = &config.metrics->histogram(
+        "serve_latency_cycles", "Request latency (arrival to completion) in fabric cycles",
+        dfc::exponential_buckets(256.0, 2.0, 16));
+  }
+
+  // Periodic CSV snapshots of the registry, stamped with the fabric cycle.
+  std::unique_ptr<CsvWriter> snapshot_csv;
+  std::uint64_t next_snapshot = 0;
+  if (config.metrics != nullptr && config.metrics_snapshot_cycles > 0) {
+    std::vector<std::string> columns{"cycle"};
+    for (const auto& [name, value] : config.metrics->snapshot()) columns.push_back(name);
+    snapshot_csv = std::make_unique<CsvWriter>(columns);
+    next_snapshot = requests.front().arrival_cycle;
+  }
+  auto take_snapshots_up_to = [&](std::uint64_t cycle) {
+    if (snapshot_csv == nullptr) return;
+    while (next_snapshot <= cycle) {
+      std::vector<std::string> cells;
+      cells.push_back(std::to_string(next_snapshot));
+      for (const auto& [name, value] : config.metrics->snapshot()) {
+        std::ostringstream os;
+        os << value;
+        cells.push_back(os.str());
+      }
+      snapshot_csv->row(cells);
+      next_snapshot += config.metrics_snapshot_cycles;
+    }
+  };
+
   ServeReport report;
   report.outcomes.resize(requests.size());
   for (const Request& r : requests) {
@@ -130,6 +178,16 @@ ServeReport plan_serving(const std::vector<Request>& requests, const ServeConfig
         o.replica = replica;
       }
       busy_until[replica] = rec.completion_cycle;
+      if (config.metrics != nullptr) {
+        batches_metric->inc();
+        completed_metric->inc(k);
+        replica_busy_metric->inc(rec.service_cycles());
+        batch_size_metric->observe(static_cast<double>(k));
+        for (const std::uint64_t id : rec.request_ids) {
+          latency_metric->observe(
+              static_cast<double>(report.outcomes[id].latency_cycles()));
+        }
+      }
       report.batch_records.push_back(std::move(rec));
     }
   };
@@ -156,6 +214,9 @@ ServeReport plan_serving(const std::vector<Request>& requests, const ServeConfig
     }
     DFC_CHECK(t != kNever && t >= now, "serve event loop lost its next event");
 
+    // Snapshot points strictly before t see the state after all events <= t-1.
+    if (t > 0) take_snapshots_up_to(t - 1);
+
     depth_cycle_area += static_cast<double>(queue.size()) * static_cast<double>(t - now);
     now = t;
 
@@ -169,6 +230,9 @@ ServeReport plan_serving(const std::vector<Request>& requests, const ServeConfig
     dispatch_ready_batches();
   }
 
+  take_snapshots_up_to(now);
+  if (snapshot_csv != nullptr) report.metrics_csv = snapshot_csv->str();
+
   report.stats = summarize(requests, report.outcomes, report.batch_records, max_depth,
                            depth_cycle_area);
   DFC_CHECK(report.stats.shed_requests == queue.shed_count(),
@@ -180,6 +244,10 @@ InferenceServer::InferenceServer(const dfc::core::NetworkSpec& spec, const Serve
     : config_(config), pool_(spec, config.replicas, config.build) {}
 
 ServeReport InferenceServer::run(const Load& load) {
+  if (config_.metrics != nullptr) {
+    config_.metrics->gauge("serve_replicas", "Replica accelerators behind the endpoint")
+        .set(static_cast<double>(pool_.size()));
+  }
   if (pool_.warmed_batch_limit() < config_.batcher.max_batch_size) {
     pool_.warm(config_.batcher.max_batch_size, config_.threads);
   }

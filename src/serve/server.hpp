@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "core/builder.hpp"
 #include "serve/batcher.hpp"
 #include "serve/load_generator.hpp"
@@ -39,6 +40,17 @@ struct ServeConfig {
   /// Worker threads for warm()/execute() (0 = auto). Never changes results.
   std::size_t threads = 0;
   dfc::core::BuildOptions build{};
+
+  /// Optional metrics sink (non-owning; must outlive the run). When set, the
+  /// planner records admission/shed counters, queue depth, a batch-size
+  /// histogram, a latency histogram in cycles, and replica busy cycles.
+  /// Metric values are functions of the simulated timeline only, so they are
+  /// identical across runs and DFCNN_SWEEP_THREADS settings.
+  dfc::MetricsRegistry* metrics = nullptr;
+  /// With `metrics` set and this nonzero, sample every metric into a CSV row
+  /// (stamped with the fabric cycle) each time the timeline crosses a
+  /// multiple of this many cycles; the rows land in ServeReport::metrics_csv.
+  std::uint64_t metrics_snapshot_cycles = 0;
 };
 
 /// Plans the serving timeline for `requests` (sorted by arrival, ids equal

@@ -1,0 +1,347 @@
+// Tests for the observability layer: trace sink semantics, Perfetto export
+// determinism (across runs and DFCNN_SWEEP_THREADS settings), stall
+// attribution invariants (every core's buckets sum to the observed cycle
+// count), per-FIFO empty-stall accounting and reset semantics, the metrics
+// registry, and the serve-side metrics wiring.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "core/builder.hpp"
+#include "core/harness.hpp"
+#include "core/presets.hpp"
+#include "dataflow/fifo.hpp"
+#include "dataflow/sim_context.hpp"
+#include "obs/activity.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/trace.hpp"
+#include "report/experiments.hpp"
+#include "serve/load_generator.hpp"
+#include "serve/server.hpp"
+
+namespace dfc {
+namespace {
+
+using dfc::core::AcceleratorHarness;
+using dfc::core::build_accelerator;
+using dfc::core::make_usps_spec;
+
+// Restores DFCNN_SWEEP_THREADS on scope exit.
+class ScopedSweepThreads {
+ public:
+  explicit ScopedSweepThreads(const char* value) {
+    if (const char* old = std::getenv("DFCNN_SWEEP_THREADS")) old_ = old;
+    ::setenv("DFCNN_SWEEP_THREADS", value, 1);
+  }
+  ~ScopedSweepThreads() {
+    if (old_.empty()) {
+      ::unsetenv("DFCNN_SWEEP_THREADS");
+    } else {
+      ::setenv("DFCNN_SWEEP_THREADS", old_.c_str(), 1);
+    }
+  }
+
+ private:
+  std::string old_;
+};
+
+// --- TraceSink ----------------------------------------------------------------
+
+TEST(TraceSinkTest, RegistersEntitiesWithDenseIds) {
+  obs::TraceSink sink;
+  EXPECT_EQ(sink.register_entity("a", obs::EntityKind::kFifo, 8), 0u);
+  EXPECT_EQ(sink.register_entity("b", obs::EntityKind::kProcess), 1u);
+  EXPECT_EQ(sink.entity(0).name, "a");
+  EXPECT_EQ(sink.entity(0).capacity, 8u);
+  EXPECT_EQ(sink.entity(1).kind, obs::EntityKind::kProcess);
+}
+
+TEST(TraceSinkTest, DropsNewestWhenFull) {
+  obs::TraceSink sink(2);
+  const auto id = sink.register_entity("f", obs::EntityKind::kFifo, 1);
+  sink.record(id, obs::EventKind::kPush, 10, 1);
+  sink.record(id, obs::EventKind::kPop, 11, 1);
+  sink.record(id, obs::EventKind::kPush, 12, 2);  // over capacity: dropped
+  ASSERT_EQ(sink.events().size(), 2u);
+  EXPECT_EQ(sink.dropped(), 1u);
+  EXPECT_EQ(sink.events()[0].cycle, 10u);  // the prefix survives, not the tail
+  EXPECT_EQ(sink.events()[1].cycle, 11u);
+
+  sink.clear_events();
+  EXPECT_TRUE(sink.events().empty());
+  EXPECT_EQ(sink.dropped(), 0u);
+  EXPECT_EQ(sink.entities().size(), 1u);  // registrations survive a clear
+}
+
+TEST(TraceSinkTest, AttachRequiresFreshSink) {
+  auto acc = build_accelerator(make_usps_spec());
+  obs::TraceSink used;
+  used.register_entity("stale", obs::EntityKind::kFifo, 1);
+  EXPECT_THROW(acc.ctx->attach_trace(&used), ConfigError);
+
+  obs::TraceSink fresh;
+  acc.ctx->attach_trace(&fresh);
+  obs::TraceSink second;
+  EXPECT_THROW(acc.ctx->attach_trace(&second), ConfigError);
+  acc.ctx->attach_trace(nullptr);  // detach is fine and idempotent
+  acc.ctx->attach_trace(nullptr);
+}
+
+// --- trace determinism --------------------------------------------------------
+
+std::string traced_usps_json(std::size_t batch) {
+  obs::TraceSink sink;
+  AcceleratorHarness harness(build_accelerator(make_usps_spec()));
+  harness.accelerator().ctx->attach_trace(&sink);
+  harness.run_batch(report::random_images(harness.spec(), batch));
+  return obs::perfetto_trace_json(sink);
+}
+
+TEST(TraceExportTest, ByteIdenticalAcrossRunsAndThreadSettings) {
+  std::string first;
+  {
+    ScopedSweepThreads threads("1");
+    first = traced_usps_json(2);
+  }
+  std::string second;
+  {
+    ScopedSweepThreads threads("4");
+    second = traced_usps_json(2);
+  }
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+TEST(TraceExportTest, ProducesPerfettoShapedJson) {
+  const std::string json = traced_usps_json(1);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);  // track metadata
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // activity slices
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);  // occupancy counters
+  EXPECT_NE(json.find("L0.conv"), std::string::npos);
+  EXPECT_NE(json.find("dma.in"), std::string::npos);
+  EXPECT_NE(json.find("\"events_dropped\":0"), std::string::npos);
+  // No wall-clock leakage: Perfetto timestamps are fabric cycles, so the
+  // trailer must declare the unit.
+  EXPECT_NE(json.find("fabric cycle"), std::string::npos);
+}
+
+TEST(TraceExportTest, ImageMarkersCoverTheBatch) {
+  obs::TraceSink sink;
+  AcceleratorHarness harness(build_accelerator(make_usps_spec()));
+  harness.accelerator().ctx->attach_trace(&sink);
+  harness.run_batch(report::random_images(harness.spec(), 3));
+  std::size_t starts = 0;
+  std::size_t dones = 0;
+  for (const obs::TraceEvent& e : sink.events()) {
+    starts += e.kind == obs::EventKind::kImageStart;
+    dones += e.kind == obs::EventKind::kImageDone;
+  }
+  EXPECT_EQ(starts, 3u);
+  EXPECT_EQ(dones, 3u);
+}
+
+// --- stall attribution --------------------------------------------------------
+
+TEST(StallAttributionTest, BucketsSumToObservedCycles) {
+  AcceleratorHarness harness(build_accelerator(make_usps_spec()));
+  harness.accelerator().ctx->set_stall_accounting(true);
+  harness.run_batch(report::random_images(harness.spec(), 4));
+
+  const std::uint64_t observed = harness.accelerator().ctx->observed_cycles();
+  EXPECT_GT(observed, 0u);
+  const auto rows = report::stall_attribution(harness.accelerator());
+  ASSERT_FALSE(rows.empty());
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.activity.total(), observed) << row.name;
+  }
+  // The first conv layer is the designed bottleneck: it must be the busiest.
+  std::uint64_t conv0_working = 0;
+  std::uint64_t max_working = 0;
+  for (const auto& row : rows) {
+    if (row.name == "L0.conv") conv0_working = row.activity.working;
+    max_working = std::max(max_working, row.activity.working);
+  }
+  EXPECT_EQ(conv0_working, max_working);
+}
+
+TEST(StallAttributionTest, ObservationDoesNotChangeResults) {
+  const auto images = report::random_images(make_usps_spec(), 2);
+  AcceleratorHarness plain(build_accelerator(make_usps_spec()));
+  const auto base = plain.run_batch(images);
+
+  AcceleratorHarness observed(build_accelerator(make_usps_spec()));
+  observed.accelerator().ctx->set_stall_accounting(true);
+  const auto obs_result = observed.run_batch(images);
+
+  EXPECT_EQ(base.total_cycles(), obs_result.total_cycles());
+  EXPECT_EQ(base.completion_cycles, obs_result.completion_cycles);
+  ASSERT_EQ(base.outputs.size(), obs_result.outputs.size());
+  for (std::size_t i = 0; i < base.outputs.size(); ++i) {
+    EXPECT_EQ(base.outputs[i], obs_result.outputs[i]) << "image " << i;
+  }
+}
+
+TEST(StallAttributionTest, DisabledModeKeepsObservedCyclesAtZero) {
+  AcceleratorHarness harness(build_accelerator(make_usps_spec()));
+  harness.run_batch(report::random_images(harness.spec(), 1));
+  EXPECT_FALSE(harness.accelerator().ctx->observing());
+  EXPECT_EQ(harness.accelerator().ctx->observed_cycles(), 0u);
+}
+
+// --- FIFO empty-stall accounting ---------------------------------------------
+
+TEST(FifoStallTest, EmptyStallCountsAndResetSemantics) {
+  df::Fifo<int> f("f", 2);
+  f.note_empty_stall();
+  f.note_empty_stall();
+  EXPECT_EQ(f.stats().empty_stall_cycles, 2u);
+  EXPECT_EQ(f.lifetime_stats().empty_stall_cycles, 2u);
+
+  f.reset_stats();  // per-measurement stats clear, lifetime survives
+  EXPECT_EQ(f.stats().empty_stall_cycles, 0u);
+  EXPECT_EQ(f.lifetime_stats().empty_stall_cycles, 2u);
+}
+
+TEST(FifoStallTest, StallAccountingPopulatesEmptyStalls) {
+  AcceleratorHarness harness(build_accelerator(make_usps_spec()));
+  harness.accelerator().ctx->set_stall_accounting(true);
+  harness.run_batch(report::random_images(harness.spec(), 2));
+  const auto& ctx = *harness.accelerator().ctx;
+  std::uint64_t total_empty = 0;
+  for (std::size_t i = 0; i < ctx.fifo_count(); ++i) {
+    total_empty += ctx.fifo(i).lifetime_stats().empty_stall_cycles;
+  }
+  // Downstream stages starve while the bottleneck conv works, so some input
+  // FIFO must have recorded empty-stall cycles.
+  EXPECT_GT(total_empty, 0u);
+}
+
+// --- metrics registry ---------------------------------------------------------
+
+TEST(MetricsTest, CounterGaugeHistogramBasics) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("c_total", "a counter");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  EXPECT_EQ(&registry.counter("c_total", "ignored"), &c);  // get-or-create
+
+  Gauge& g = registry.gauge("g", "a gauge");
+  g.set(2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+
+  Histogram& h = registry.histogram("h", "a histogram", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(100.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 105.5);
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 3u);  // two bounds + implicit +Inf
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+}
+
+TEST(MetricsTest, TypeMismatchThrows) {
+  MetricsRegistry registry;
+  registry.counter("x", "first");
+  EXPECT_THROW(registry.gauge("x", "oops"), ConfigError);
+  EXPECT_THROW(registry.histogram("x", "oops", {1.0}), ConfigError);
+}
+
+TEST(MetricsTest, HistogramRejectsUnsortedBounds) {
+  EXPECT_THROW(Histogram({2.0, 1.0}), ConfigError);
+  EXPECT_THROW(Histogram({}), ConfigError);
+}
+
+TEST(MetricsTest, ExpositionIsCumulativeAndByteStable) {
+  MetricsRegistry registry;
+  registry.counter("req_total", "requests").inc(3);
+  Histogram& h = registry.histogram("lat", "latency", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+
+  const std::string text = registry.expose_text();
+  EXPECT_NE(text.find("# TYPE req_total counter"), std::string::npos);
+  EXPECT_NE(text.find("req_total 3"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"2\"} 2"), std::string::npos);  // cumulative
+  EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_count 2"), std::string::npos);
+  EXPECT_EQ(text, registry.expose_text());  // scraping is stable
+}
+
+TEST(MetricsTest, SnapshotFlattensHistograms) {
+  MetricsRegistry registry;
+  registry.counter("c", "counter").inc(2);
+  registry.histogram("h", "histogram", {1.0}).observe(3.0);
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 3u);  // c, h_count, h_sum
+  EXPECT_EQ(snap[0].first, "c");
+  EXPECT_DOUBLE_EQ(snap[0].second, 2.0);
+  EXPECT_EQ(snap[1].first, "h_count");
+  EXPECT_EQ(snap[2].first, "h_sum");
+  EXPECT_DOUBLE_EQ(snap[2].second, 3.0);
+}
+
+// --- serve wiring -------------------------------------------------------------
+
+serve::ServeReport run_served_scenario(MetricsRegistry* registry,
+                                       std::uint64_t snapshot_cycles) {
+  std::vector<serve::Request> requests;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    serve::Request r;
+    r.id = i;
+    r.arrival_cycle = 100 + i * 50;
+    requests.push_back(r);
+  }
+  serve::ServeConfig config;
+  config.replicas = 1;
+  config.queue_capacity = 4;  // forces sheds under this burst
+  config.batcher.max_batch_size = 4;
+  config.batcher.max_wait_cycles = 0;
+  config.metrics = registry;
+  config.metrics_snapshot_cycles = snapshot_cycles;
+  const std::vector<std::uint64_t> service_table{400, 500, 600, 700};
+  return serve::plan_serving(requests, config, service_table);
+}
+
+TEST(ServeMetricsTest, RegistryMatchesReportedStats) {
+  MetricsRegistry registry;
+  const serve::ServeReport report = run_served_scenario(&registry, 0);
+
+  EXPECT_EQ(registry.counter("serve_requests_admitted_total", "").value(),
+            report.stats.offered_requests - report.stats.shed_requests);
+  EXPECT_EQ(registry.counter("serve_requests_shed_total", "").value(),
+            report.stats.shed_requests);
+  EXPECT_EQ(registry.counter("serve_requests_completed_total", "").value(),
+            report.stats.completed_requests);
+  EXPECT_EQ(registry.counter("serve_batches_total", "").value(), report.stats.batches);
+  EXPECT_EQ(registry.histogram("serve_batch_size", "", dfc::linear_buckets(1.0, 1.0, 4)).count(),
+            report.stats.batches);
+  EXPECT_EQ(report.metrics_csv, "");  // no snapshot period requested
+}
+
+TEST(ServeMetricsTest, SnapshotCsvIsCycleStampedAndDeterministic) {
+  MetricsRegistry a;
+  const serve::ServeReport ra = run_served_scenario(&a, 256);
+  ASSERT_FALSE(ra.metrics_csv.empty());
+  EXPECT_EQ(ra.metrics_csv.compare(0, 6, "cycle,"), 0);
+  EXPECT_NE(ra.metrics_csv.find("serve_queue_depth"), std::string::npos);
+  EXPECT_GT(std::count(ra.metrics_csv.begin(), ra.metrics_csv.end(), '\n'), 2);
+
+  MetricsRegistry b;
+  const serve::ServeReport rb = run_served_scenario(&b, 256);
+  EXPECT_EQ(ra.metrics_csv, rb.metrics_csv);
+  EXPECT_EQ(a.expose_text(), b.expose_text());
+}
+
+}  // namespace
+}  // namespace dfc

@@ -2,12 +2,20 @@
 //
 // Usage:
 //   dfcnn info      <design>                 describe, resources, timing
-//   dfcnn dot       <design>                 Graphviz block design to stdout
+//   dfcnn dot       <design> [batch]         Graphviz block design to stdout;
+//                                            with a batch count the design is
+//                                            simulated first and edges carry
+//                                            FIFO pressure annotations
 //   dfcnn simulate  <design> [batch]         cycle-level batch simulation
-//   dfcnn serve     <design> [requests] [rate] [replicas]
+//   dfcnn trace     <design> [batch] [--out trace.json]
+//                                            simulate with event tracing and
+//                                            write a Perfetto JSON trace
+//   dfcnn serve     <design> [requests] [rate] [replicas] [--metrics]
 //                                            open-loop serving scenario
 //                                            (rate in req/s, 0 = 80% of
-//                                            estimated capacity)
+//                                            estimated capacity); --metrics
+//                                            prints the Prometheus-style
+//                                            registry after the run
 //   dfcnn dse       <preset> [device]        automated port-plan exploration
 //   dfcnn partition <design> <boards> [device]  multi-FPGA mapping
 //   dfcnn export    <preset> <out.dfcnn>     save a compiled design artifact
@@ -17,8 +25,11 @@
 // virtex7-485t (default) | virtex7-330t | kintex7-325t.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
+#include "common/metrics.hpp"
 #include "common/table.hpp"
 #include "core/block_design.hpp"
 #include "core/harness.hpp"
@@ -27,6 +38,8 @@
 #include "dse/explorer.hpp"
 #include "hwmodel/power.hpp"
 #include "multifpga/partition.hpp"
+#include "obs/perfetto.hpp"
+#include "obs/trace.hpp"
 #include "report/experiments.hpp"
 #include "serve/server.hpp"
 
@@ -36,11 +49,15 @@ using namespace dfc;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: dfcnn <info|dot|simulate|serve|dse|partition|export> <design> [args]\n"
+               "usage: dfcnn <info|dot|simulate|trace|serve|dse|partition|export> <design> "
+               "[args]\n"
                "  designs: usps | cifar | alexnet | <path to .dfcnn file>\n"
                "  devices: virtex7-485t | virtex7-330t | kintex7-325t\n"
+               "  dot:     dfcnn dot <design> [batch=0]   (batch > 0 simulates first and\n"
+               "           annotates edges with FIFO pressure)\n"
+               "  trace:   dfcnn trace <design> [batch=4] [--out trace.json]\n"
                "  serve:   dfcnn serve <design> [requests=2000] [rate_rps=0(auto)] "
-               "[replicas=2]\n");
+               "[replicas=2] [--metrics]\n");
   return 2;
 }
 
@@ -97,8 +114,43 @@ int cmd_simulate(const core::NetworkSpec& spec, std::size_t batch) {
   return 0;
 }
 
+int cmd_dot(const core::NetworkSpec& spec, std::size_t batch) {
+  if (batch == 0) {
+    std::printf("%s", core::block_design_dot(spec).c_str());
+    return 0;
+  }
+  core::AcceleratorHarness harness(core::build_accelerator(spec));
+  // Stall accounting makes consumers count empty-stall cycles on their input
+  // FIFOs, so the annotated edges can show starvation, not just back-pressure.
+  harness.accelerator().ctx->set_stall_accounting(true);
+  harness.run_batch(report::random_images(spec, batch));
+  std::printf("%s", core::block_design_dot(spec, *harness.accelerator().ctx).c_str());
+  return 0;
+}
+
+int cmd_trace(const core::NetworkSpec& spec, std::size_t batch, const std::string& out_path) {
+  obs::TraceSink sink;
+  core::AcceleratorHarness harness(core::build_accelerator(spec));
+  harness.accelerator().ctx->attach_trace(&sink);
+  const auto result = harness.run_batch(report::random_images(spec, batch));
+
+  std::ofstream out(out_path, std::ios::binary);
+  DFC_REQUIRE(out.good(), "cannot open '" + out_path + "' for writing");
+  obs::write_perfetto_trace(sink, out);
+  out.flush();
+  DFC_REQUIRE(out.good(), "failed writing trace to '" + out_path + "'");
+
+  std::fprintf(stderr,
+               "traced %s: batch %zu, %llu cycles, %zu events (%llu dropped) -> %s\n",
+               spec.name.c_str(), batch,
+               static_cast<unsigned long long>(result.total_cycles()), sink.events().size(),
+               static_cast<unsigned long long>(sink.dropped()), out_path.c_str());
+  std::printf("%s", report::format_stall_attribution(harness.accelerator()).c_str());
+  return 0;
+}
+
 int cmd_serve(const core::NetworkSpec& spec, std::size_t requests, double rate_rps,
-              std::size_t replicas) {
+              std::size_t replicas, bool metrics) {
   serve::ServeConfig config;
   config.replicas = replicas;
   config.queue_capacity = 64;
@@ -121,6 +173,9 @@ int cmd_serve(const core::NetworkSpec& spec, std::size_t requests, double rate_r
   load_spec.request_count = requests;
   load_spec.seed = 7;
 
+  dfc::MetricsRegistry registry;
+  if (metrics) config.metrics = &registry;
+
   serve::InferenceServer server(spec, config);
   const serve::Load load = serve::generate_load(spec, load_spec);
   const serve::ServeReport report = server.run(load);
@@ -131,6 +186,7 @@ int cmd_serve(const core::NetworkSpec& spec, std::size_t requests, double rate_r
               static_cast<unsigned long long>(config.batcher.max_wait_cycles),
               config.queue_capacity);
   std::printf("%s", report.stats.render().c_str());
+  if (metrics) std::printf("\n%s", registry.expose_text().c_str());
   return 0;
 }
 
@@ -175,18 +231,39 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "info") return cmd_info(load_design(design));
     if (cmd == "dot") {
-      std::printf("%s", core::block_design_dot(load_design(design)).c_str());
-      return 0;
+      const std::size_t batch = argc > 3 ? std::stoul(argv[3]) : 0;
+      return cmd_dot(load_design(design), batch);
     }
     if (cmd == "simulate") {
       const std::size_t batch = argc > 3 ? std::stoul(argv[3]) : 32;
       return cmd_simulate(load_design(design), batch);
     }
+    if (cmd == "trace") {
+      std::size_t batch = 4;
+      std::string out_path = "trace.json";
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+          out_path = argv[++i];
+        } else {
+          batch = std::stoul(argv[i]);
+        }
+      }
+      return cmd_trace(load_design(design), batch, out_path);
+    }
     if (cmd == "serve") {
-      const std::size_t requests = argc > 3 ? std::stoul(argv[3]) : 2000;
-      const double rate = argc > 4 ? std::stod(argv[4]) : 0.0;
-      const std::size_t replicas = argc > 5 ? std::stoul(argv[5]) : 2;
-      return cmd_serve(load_design(design), requests, rate, replicas);
+      bool metrics = false;
+      std::vector<std::string> positional;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--metrics") == 0) {
+          metrics = true;
+        } else {
+          positional.emplace_back(argv[i]);
+        }
+      }
+      const std::size_t requests = positional.size() > 0 ? std::stoul(positional[0]) : 2000;
+      const double rate = positional.size() > 1 ? std::stod(positional[1]) : 0.0;
+      const std::size_t replicas = positional.size() > 2 ? std::stoul(positional[2]) : 2;
+      return cmd_serve(load_design(design), requests, rate, replicas, metrics);
     }
     if (cmd == "dse") return cmd_dse(design, argc > 3 ? argv[3] : "");
     if (cmd == "partition") {

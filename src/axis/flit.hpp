@@ -8,7 +8,9 @@
 // order (c, c+P, c+2P, ...).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
 #include "tensor/tensor.hpp"
@@ -23,6 +25,44 @@ struct Flit {
   bool last = false;
   std::int32_t channel = 0;  ///< absolute feature-map index (metadata)
 };
+
+/// Number of addressable fault-injection bits in a Flit (see below).
+constexpr std::uint32_t kFlitFaultBits = 33;
+
+/// Fault-injection payload mapping (found by ADL from dfc::df::Fifo<Flit>):
+/// bits 0..31 address the IEEE-754 pattern of `data`, bit 32 the TLAST flag.
+/// The `channel` metadata is simulation-side bookkeeping, not wire state, so
+/// it is not addressable.
+inline bool fault_flip_payload_bit(Flit& f, std::uint32_t bit) {
+  if (bit < 32) {
+    std::uint32_t u = 0;
+    std::memcpy(&u, &f.data, sizeof u);
+    u ^= 1u << bit;
+    std::memcpy(&f.data, &u, sizeof u);
+    return true;
+  }
+  if (bit == 32) {
+    f.last = !f.last;
+    return true;
+  }
+  return false;
+}
+
+/// Per-flit checksum word for the FIFO integrity sidecar: covers the data
+/// bits and TLAST (everything fault_flip_payload_bit can touch), mixed so a
+/// single-bit flip always changes the sum.
+inline std::uint32_t fault_payload_checksum(const Flit& f) {
+  std::uint32_t u = 0;
+  std::memcpy(&u, &f.data, sizeof u);
+  u *= 2654435761u;  // Knuth multiplicative hash: disperse low-bit flips
+  if (f.last) u ^= 0x9e3779b9u;
+  return u;
+}
+
+/// Range guard: a well-formed activation/logit is finite and within ±bound.
+inline bool fault_payload_in_range(const Flit& f, float bound) {
+  return std::isfinite(f.data) && std::fabs(f.data) <= bound;
+}
 
 /// Packs tensor `t` into the flit sequence seen on port `port` of a layer
 /// interface with `num_ports` ports: pixel-major, channels interleaved.

@@ -47,6 +47,12 @@ class RingBuffer {
     return storage_[head_];
   }
 
+  /// Mutable access to the oldest element (in-place fault injection).
+  T& front_mut() {
+    DFC_ASSERT(!empty(), "RingBuffer::front_mut on empty buffer");
+    return storage_[head_];
+  }
+
   /// Element `i` positions behind the front (0 == front).
   const T& at(std::size_t i) const {
     DFC_ASSERT(i < size_, "RingBuffer::at out of range");

@@ -1,6 +1,7 @@
 #include "core/dma.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 #include "obs/trace.hpp"
@@ -131,7 +132,9 @@ void DmaSink::on_clock() {
     return;
   }
   if (bus_ != nullptr && !bus_->grant_sink(now())) return;
-  current_.push_back(in_.pop().data);
+  const Flit flit = in_.pop();
+  if (guard_enabled_) guard_check(flit);
+  current_.push_back(flit.data);
   next_recv_cycle_ = now() + static_cast<std::uint64_t>(cycles_per_word_);
   if (bus_ != nullptr) bus_->consume(now());
   if (static_cast<std::int64_t>(current_.size()) == values_per_image_) {
@@ -153,11 +156,36 @@ std::uint64_t DmaSink::wake_cycle() const {
   return wake;
 }
 
+void DmaSink::guard_check(const Flit& flit) {
+  const bool expect_last =
+      static_cast<std::int64_t>(current_.size()) + 1 == values_per_image_;
+  bool violated = false;
+  if (flit.last != expect_last) {
+    ++guard_framing_errors_;
+    violated = true;
+  }
+  if (!(std::isfinite(flit.data) && std::fabs(flit.data) <= guard_bound_)) {
+    ++guard_range_errors_;
+    violated = true;
+  }
+  if (violated) {
+    if (first_guard_error_cycle_ == kNoError) first_guard_error_cycle_ = now();
+    if (obs_trace_ != nullptr) {
+      obs_trace_->record(obs_id_, obs::EventKind::kFaultDetect, now(),
+                         flit.last != expect_last ? dfc::df::kDetectTraceFraming
+                                                  : dfc::df::kDetectTraceRange);
+    }
+  }
+}
+
 void DmaSink::reset() {
   current_.clear();
   next_recv_cycle_ = 0;
   completion_cycles_.clear();
   outputs_.clear();
+  guard_framing_errors_ = 0;
+  guard_range_errors_ = 0;
+  first_guard_error_cycle_ = kNoError;
 }
 
 }  // namespace dfc::core

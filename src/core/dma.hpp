@@ -142,7 +142,24 @@ class DmaSink final : public dfc::df::Process {
   /// Classifier outputs per image.
   const std::vector<std::vector<float>>& outputs() const { return outputs_; }
 
+  /// Arms the end-of-stream guard: every received beat is checked for framing
+  /// (TLAST must mark exactly the last value of an image — a dropped or
+  /// duplicated flit upstream desynchronizes it) and for range (finite,
+  /// |v| <= range_bound). Pure observation: never changes timing or data.
+  void set_stream_guard(bool on, float range_bound = 0.0f) {
+    guard_enabled_ = on;
+    guard_bound_ = range_bound;
+  }
+  std::uint64_t guard_framing_errors() const { return guard_framing_errors_; }
+  std::uint64_t guard_range_errors() const { return guard_range_errors_; }
+  /// Cycle of the first guard violation (kNoError while clean).
+  std::uint64_t first_guard_error_cycle() const { return first_guard_error_cycle_; }
+
+  static constexpr std::uint64_t kNoError = ~std::uint64_t{0};
+
  private:
+  void guard_check(const dfc::axis::Flit& flit);
+
   dfc::df::Fifo<dfc::axis::Flit>& in_;
   std::int64_t values_per_image_;
   int cycles_per_word_;
@@ -151,6 +168,12 @@ class DmaSink final : public dfc::df::Process {
   std::vector<float> current_;
   std::vector<std::uint64_t> completion_cycles_;
   std::vector<std::vector<float>> outputs_;
+
+  bool guard_enabled_ = false;
+  float guard_bound_ = 0.0f;
+  std::uint64_t guard_framing_errors_ = 0;
+  std::uint64_t guard_range_errors_ = 0;
+  std::uint64_t first_guard_error_cycle_ = kNoError;
 };
 
 }  // namespace dfc::core

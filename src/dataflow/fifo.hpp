@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <utility>
 #include <vector>
@@ -28,6 +29,44 @@ namespace dfc::df {
 
 class Process;
 class SimContext;
+class FifoBase;
+
+/// Receives integrity-guard reports (checksum/range mismatches found at pop
+/// time). Implemented by fault::FaultInjector; a null listener means the
+/// guard only bumps the FIFO's error counters.
+class FaultListener {
+ public:
+  virtual ~FaultListener() = default;
+  /// `what` names the failed check ("checksum" or "range").
+  virtual void on_integrity_violation(const FifoBase& fifo, const char* what) = 0;
+};
+
+/// Trace `value` payloads carried by kFaultInject / kFaultDetect events.
+constexpr std::uint32_t kFaultTraceBitFlip = 0;
+constexpr std::uint32_t kFaultTraceJam = 1;
+constexpr std::uint32_t kFaultTraceDrop = 2;
+constexpr std::uint32_t kFaultTraceDuplicate = 3;
+constexpr std::uint32_t kDetectTraceChecksum = 0;
+constexpr std::uint32_t kDetectTraceRange = 1;
+constexpr std::uint32_t kDetectTraceFraming = 2;  ///< used by core::DmaSink
+
+/// Fault-payload customization points, resolved by ADL against the FIFO's
+/// element type. Token types opt in by providing overloads next to their
+/// definition (axis::Flit, sst::Window); these fallbacks make FIFOs of any
+/// other element type safely un-faultable (flips refuse to land) and
+/// un-guardable (constant checksum, range always passes).
+template <typename T>
+inline bool fault_flip_payload_bit(T& /*value*/, std::uint32_t /*bit*/) {
+  return false;
+}
+template <typename T>
+inline std::uint32_t fault_payload_checksum(const T& /*value*/) {
+  return 0;
+}
+template <typename T>
+inline bool fault_payload_in_range(const T& /*value*/, float /*bound*/) {
+  return true;
+}
 
 /// Occupancy and traffic statistics of one FIFO, for reports and tests.
 struct FifoStats {
@@ -89,6 +128,47 @@ class FifoBase {
     trace_record(obs::EventKind::kEmptyStall);
   }
 
+  // --- Fault injection & integrity guards (src/fault) -----------------------
+  // All hooks below are driven by fault::FaultInjector through a
+  // SimContext::CycleHook at cycle boundaries; with no injector attached the
+  // only hot-path cost is the fault_jammed_ check in can_pop/can_push.
+
+  /// Jams/unjams the ready/valid handshake: while jammed the FIFO refuses
+  /// both pops and pushes, modelling a wedged AXI-Stream link. The injector
+  /// forces the naive scheduler while attached, so the flag is honoured
+  /// cycle-exactly.
+  void set_fault_jammed(bool on) {
+    if (on && !fault_jammed_) trace_record(obs::EventKind::kFaultInject, kFaultTraceJam);
+    fault_jammed_ = on;
+  }
+  bool fault_jammed() const { return fault_jammed_; }
+
+  /// Flips payload bit `bit` of the element nearest the consumer (the visible
+  /// front, else the uncommitted pending slot). Returns false when nothing is
+  /// stored or the element type exposes no payload bits.
+  virtual bool fault_corrupt_payload(std::uint32_t bit) = 0;
+
+  /// Discards the front element without a pop handshake (a lost flit). Its
+  /// checksum sidecar entry goes with it: the loss is detectable only through
+  /// framing or the watchdog, exactly as in hardware.
+  virtual bool fault_drop_front() = 0;
+
+  /// Re-enqueues a bitwise copy of the front element (a beat delivered
+  /// twice). Refuses when no physical slot is free for the copy.
+  virtual bool fault_duplicate_front() = 0;
+
+  /// Arms the checksum/range sidecar: every push records a payload checksum,
+  /// every pop verifies it plus the payload range and reports mismatches to
+  /// `listener` (null: counters only). Purely host-side observation — guards
+  /// never change simulated timing or data.
+  virtual void enable_integrity_guard(FaultListener* listener, float range_bound) = 0;
+  virtual void disable_integrity_guard() = 0;
+  bool integrity_guard_enabled() const { return guard_enabled_; }
+
+  /// Checksum / range violations found at pop since construction.
+  std::uint64_t guard_checksum_errors() const { return guard_checksum_errors_; }
+  std::uint64_t guard_range_errors() const { return guard_range_errors_; }
+
  protected:
   /// Registers this FIFO on its context's dirty list the first time it sees a
   /// push or pop in the current cycle, so the scheduler only commits FIFOs
@@ -107,10 +187,29 @@ class FifoBase {
     if (obs_trace_ != nullptr) obs_trace_->record(obs_id_, kind, *obs_cycle_, value);
   }
 
+  /// Bumps the right error counter, traces the detection and notifies the
+  /// listener. `detector` is one of the kDetectTrace* values.
+  void report_guard_violation(const char* what, std::uint32_t detector) {
+    if (detector == kDetectTraceChecksum) {
+      ++guard_checksum_errors_;
+    } else {
+      ++guard_range_errors_;
+    }
+    trace_record(obs::EventKind::kFaultDetect, detector);
+    if (fault_listener_ != nullptr) fault_listener_->on_integrity_violation(*this, what);
+  }
+
   std::string name_;
   std::size_t capacity_;
   FifoStats stats_;
   FifoStats lifetime_;
+
+  bool fault_jammed_ = false;
+  bool guard_enabled_ = false;
+  FaultListener* fault_listener_ = nullptr;
+  float guard_range_bound_ = 0.0f;
+  std::uint64_t guard_checksum_errors_ = 0;
+  std::uint64_t guard_range_errors_ = 0;
 
  private:
   friend class SimContext;
@@ -132,13 +231,15 @@ class Fifo final : public FifoBase {
       : FifoBase(std::move(name), capacity), items_(capacity) {}
 
   /// True if a pop() is allowed this cycle (an element was present at the
-  /// start of the cycle and none has been popped yet this cycle).
-  bool can_pop() const { return !popped_this_cycle_ && !items_.empty(); }
+  /// start of the cycle, none has been popped yet this cycle, and the
+  /// handshake is not jammed by a fault).
+  bool can_pop() const { return !fault_jammed_ && !popped_this_cycle_ && !items_.empty(); }
 
   /// True if a push() is allowed this cycle. Occupancy is evaluated as of
   /// the start of the cycle (a pop in the same cycle does not free the slot
   /// until commit), so the answer does not depend on process ordering.
   bool can_push() const {
+    if (fault_jammed_) return false;
     const std::size_t start_occupancy = items_.size() + (popped_this_cycle_ ? 1 : 0);
     return !pushed_this_cycle_ && start_occupancy + pending_count_ < capacity_;
   }
@@ -157,7 +258,9 @@ class Fifo final : public FifoBase {
     ++lifetime_.pops;
     mark_pending();
     trace_record(obs::EventKind::kPop);
-    return items_.pop();
+    T value = items_.pop();
+    if (guard_enabled_) guard_check(value);
+    return value;
   }
 
   /// Enqueues `value`; it becomes visible to consumers next cycle.
@@ -167,6 +270,9 @@ class Fifo final : public FifoBase {
     pushed_this_cycle_ = true;
     pending_ = std::move(value);
     pending_count_ = 1;
+    if (guard_enabled_) {
+      pending_sum_ = guard_seq_mix(fault_payload_checksum(pending_), guard_push_seq_++);
+    }
     ++stats_.pushes;
     ++lifetime_.pushes;
     mark_pending();
@@ -187,6 +293,7 @@ class Fifo final : public FifoBase {
     if (pending_count_ > 0) {
       items_.push(std::move(pending_));
       pending_count_ = 0;
+      if (guard_enabled_) guard_sums_.push_back(pending_sum_);
     }
     const std::size_t occ = items_.size();
     stats_.max_occupancy = std::max(stats_.max_occupancy, occ);
@@ -201,14 +308,105 @@ class Fifo final : public FifoBase {
     pending_count_ = 0;
     pushed_this_cycle_ = false;
     popped_this_cycle_ = false;
+    guard_sums_.clear();
+    guard_push_seq_ = 0;
+    guard_pop_seq_ = 0;
+  }
+
+  bool fault_corrupt_payload(std::uint32_t bit) override {
+    bool landed = false;
+    if (!items_.empty()) {
+      landed = fault_flip_payload_bit(items_.front_mut(), bit);
+    } else if (pending_count_ > 0) {
+      landed = fault_flip_payload_bit(pending_, bit);
+    }
+    if (landed) trace_record(obs::EventKind::kFaultInject, kFaultTraceBitFlip);
+    return landed;
+  }
+
+  bool fault_drop_front() override {
+    if (items_.empty()) return false;
+    (void)items_.pop();
+    if (guard_enabled_ && !guard_sums_.empty()) guard_sums_.pop_front();
+    trace_record(obs::EventKind::kFaultInject, kFaultTraceDrop);
+    return true;
+  }
+
+  bool fault_duplicate_front() override {
+    if (items_.empty() || items_.size() + pending_count_ >= capacity_) return false;
+    std::vector<T> held;
+    held.reserve(items_.size());
+    while (!items_.empty()) held.push_back(items_.pop());
+    items_.push(held.front());
+    for (auto& v : held) items_.push(std::move(v));
+    // The copy is bitwise faithful, so its sidecar entry is a copy too — a
+    // duplicated beat evades pure per-flit parity. The sequence number mixed
+    // into each checksum is what catches it: the original lands one pop
+    // position late and fails the compare.
+    if (guard_enabled_ && !guard_sums_.empty()) guard_sums_.push_front(guard_sums_.front());
+    trace_record(obs::EventKind::kFaultInject, kFaultTraceDuplicate);
+    return true;
+  }
+
+  void enable_integrity_guard(FaultListener* listener, float range_bound) override {
+    guard_enabled_ = true;
+    fault_listener_ = listener;
+    guard_range_bound_ = range_bound;
+    // Checksum whatever is already in flight so mid-run arming stays in sync.
+    guard_sums_.clear();
+    guard_pop_seq_ = 0;
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      guard_sums_.push_back(guard_seq_mix(fault_payload_checksum(items_.at(i)),
+                                          static_cast<std::uint32_t>(i)));
+    }
+    guard_push_seq_ = static_cast<std::uint32_t>(items_.size());
+    if (pending_count_ > 0) {
+      pending_sum_ = guard_seq_mix(fault_payload_checksum(pending_), guard_push_seq_++);
+    }
+  }
+
+  void disable_integrity_guard() override {
+    guard_enabled_ = false;
+    fault_listener_ = nullptr;
+    guard_sums_.clear();
+    guard_push_seq_ = 0;
+    guard_pop_seq_ = 0;
   }
 
  private:
+  /// Folds the link-local sequence number into a payload checksum. Bit-flips
+  /// fail the payload part; drops and duplicates shift every later element to
+  /// the wrong pop position and fail the sequence part.
+  static std::uint32_t guard_seq_mix(std::uint32_t sum, std::uint32_t seq) {
+    return sum ^ (seq * 0x9E3779B9u + 0x85EBCA6Bu);
+  }
+
+  void guard_check(const T& value) {
+    DFC_ASSERT(!guard_sums_.empty(), "integrity guard sidecar out of sync: " + name_);
+    const std::uint32_t expect = guard_sums_.front();
+    guard_sums_.pop_front();
+    const std::uint32_t actual =
+        guard_seq_mix(fault_payload_checksum(value), guard_pop_seq_++);
+    // A drop/duplicate skews the sequence for every later pop on this link;
+    // one report is enough to trigger recovery, so the violation latches
+    // instead of flooding the trace.
+    if (actual != expect && guard_checksum_errors_ == 0) {
+      report_guard_violation("checksum", kDetectTraceChecksum);
+    }
+    if (!fault_payload_in_range(value, guard_range_bound_)) {
+      report_guard_violation("range", kDetectTraceRange);
+    }
+  }
+
   RingBuffer<T> items_;
   T pending_{};
   std::size_t pending_count_ = 0;
   bool pushed_this_cycle_ = false;
   bool popped_this_cycle_ = false;
+  std::deque<std::uint32_t> guard_sums_;  ///< seq-mixed checksums aligned with items_
+  std::uint32_t pending_sum_ = 0;
+  std::uint32_t guard_push_seq_ = 0;
+  std::uint32_t guard_pop_seq_ = 0;
 };
 
 }  // namespace dfc::df

@@ -27,8 +27,13 @@ void SimContext::prepare_schedule() {
 
 void SimContext::step() {
   if (!schedule_prepared_) prepare_schedule();
+  if (cycle_hook_ != nullptr) cycle_hook_->on_cycle_start(cycle_);
   if (observing()) {
     step_observed();
+  } else if (cycle_hook_ != nullptr) {
+    // Hook mutations (jams, dropped flits) invalidate cached wake hints and
+    // would trip paranoid's no-op proofs, so fall back to the naive loop.
+    step_naive();
   } else if (paranoid_) {
     step_checked();
   } else if (activity_aware_) {
@@ -165,7 +170,8 @@ std::uint64_t SimContext::fast_forward(std::uint64_t limit_cycle) {
   // Only valid straight after an idle cycle: any FIFO activity means some
   // process may act next cycle. While observing, every cycle must be stepped
   // (and classified) explicitly, so jumping is off the table.
-  if (idle_cycles_ == 0 || !schedule_prepared_ || !activity_aware_ || paranoid_ || observing()) {
+  if (idle_cycles_ == 0 || !schedule_prepared_ || !activity_aware_ || paranoid_ || observing() ||
+      cycle_hook_ != nullptr) {
     return 0;
   }
   std::uint64_t wake = Process::kNeverWake;
@@ -227,6 +233,7 @@ void SimContext::reset() {
   for (auto& f : fifos_) {
     f->reset();
     f->pending_commit_ = false;
+    f->set_fault_jammed(false);  // jams are fault state, not design state
   }
   dirty_fifos_.clear();
   for (auto& p : processes_) {
@@ -286,6 +293,28 @@ void SimContext::attach_trace(obs::TraceSink* sink) {
 void SimContext::set_stall_accounting(bool on) {
   stall_accounting_ = on;
   sync_obs_flags();
+}
+
+void SimContext::attach_cycle_hook(CycleHook* hook) {
+  if (hook != nullptr) {
+    DFC_REQUIRE(cycle_hook_ == nullptr, "attach_cycle_hook: a hook is already attached");
+  }
+  cycle_hook_ = hook;
+}
+
+FifoBase* SimContext::find_fifo(const std::string& name) {
+  for (auto& f : fifos_) {
+    if (f->name() == name) return f.get();
+  }
+  return nullptr;
+}
+
+void SimContext::enable_integrity_guards(FaultListener* listener, float range_bound) {
+  for (auto& f : fifos_) f->enable_integrity_guard(listener, range_bound);
+}
+
+void SimContext::disable_integrity_guards() {
+  for (auto& f : fifos_) f->disable_integrity_guard();
 }
 
 std::string SimContext::fifo_report() const {

@@ -52,6 +52,19 @@
 
 namespace dfc::df {
 
+/// Start-of-cycle callback, attached via SimContext::attach_cycle_hook — the
+/// injection point of the fault subsystem. A hook may mutate FIFO state in
+/// ways processes cannot predict (jams, dropped flits), which would break the
+/// wake_cycle() no-op contract, so an attached hook forces the naive
+/// every-process-every-cycle scheduler and disables fast_forward — the same
+/// policy observation uses.
+class CycleHook {
+ public:
+  virtual ~CycleHook() = default;
+  /// Called once per step(), before phase 1, with the cycle about to run.
+  virtual void on_cycle_start(std::uint64_t cycle) = 0;
+};
+
 class SimContext {
  public:
   SimContext() = default;
@@ -146,6 +159,20 @@ class SimContext {
   /// True while either a trace sink is attached or stall accounting is on.
   bool observing() const { return trace_ != nullptr || stall_accounting_; }
 
+  /// Attaches the single start-of-cycle hook (attach_cycle_hook(nullptr)
+  /// detaches). See CycleHook for the scheduling consequences.
+  void attach_cycle_hook(CycleHook* hook);
+  CycleHook* cycle_hook() const { return cycle_hook_; }
+
+  /// Mutable lookup of a FIFO by name (nullptr when absent) — fault targets
+  /// are addressed by the builder's stable channel names.
+  FifoBase* find_fifo(const std::string& name);
+
+  /// Arms/disarms the checksum/range integrity guard on every registered
+  /// FIFO (see FifoBase::enable_integrity_guard).
+  void enable_integrity_guards(FaultListener* listener, float range_bound);
+  void disable_integrity_guards();
+
   /// Cycles stepped while observing (since construction/reset). Per-core
   /// activity buckets sum to exactly this value.
   std::uint64_t observed_cycles() const { return observed_cycles_; }
@@ -195,6 +222,7 @@ class SimContext {
   obs::TraceSink* trace_ = nullptr;     ///< non-owning; null = tracing off
   bool stall_accounting_ = false;
   std::uint64_t observed_cycles_ = 0;
+  CycleHook* cycle_hook_ = nullptr;     ///< non-owning; null = no injection
 };
 
 }  // namespace dfc::df

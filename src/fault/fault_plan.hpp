@@ -1,0 +1,76 @@
+// Deterministic fault plans for SEU/stall injection.
+//
+// A FaultPlan is pure data: which named FIFO gets hit, when, and how —
+// plus the serve-level fault events (replica kills, corrupted batches) the
+// serving planner consumes. Everything is keyed to simulated cycles of the
+// 100 MHz fabric clock, so a plan replays bit-identically on any machine
+// and any DFCNN_SWEEP_THREADS setting. The fault model covers the failure
+// classes a long-lived streaming accelerator actually sees:
+//
+//   * kBitFlip       — an SEU in a FIFO's BRAM/LUTRAM storage;
+//   * kJam           — a wedged AXI-Stream ready/valid handshake;
+//   * kDropFlit      — a DMA beat lost in transfer;
+//   * kDuplicateFlit — a DMA beat delivered twice.
+//
+// The paper's full-buffering dataflow reads every off-chip value exactly
+// once, so a single lost or corrupted flit poisons every downstream window
+// with no natural resync point — which is exactly what campaigns measure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dfc::fault {
+
+enum class FaultKind : std::uint8_t {
+  kBitFlip = 0,
+  kJam = 1,
+  kDropFlit = 2,
+  kDuplicateFlit = 3,
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// One scheduled fault against a named FIFO (builder channel names such as
+/// "dma.in", "L0.win0", "L2.out"). Fires at the start of `cycle`.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kBitFlip;
+  std::string fifo;
+  std::uint64_t cycle = 0;
+  std::uint32_t bit = 0;         ///< payload bit index for kBitFlip
+  std::uint64_t jam_cycles = 0;  ///< handshake wedge duration for kJam
+};
+
+/// Kill a serve replica at a simulated cycle: its in-flight batch fails and
+/// the replica leaves the pool (quarantine).
+struct ReplicaKillSpec {
+  std::size_t replica = 0;
+  std::uint64_t cycle = 0;
+};
+
+/// Corrupt the `nth_batch`-th batch dispatched on `replica` (0-based): it
+/// completes on time but detection flags its outputs, forcing a retry.
+struct BatchCorruptSpec {
+  std::size_t replica = 0;
+  std::size_t nth_batch = 0;
+};
+
+struct FaultPlan {
+  std::vector<FaultSpec> fifo_faults;
+  std::vector<ReplicaKillSpec> replica_kills;
+  std::vector<BatchCorruptSpec> batch_corruptions;
+
+  /// Arm the per-FIFO checksum/range sidecars (and the DMA stream guard in
+  /// the campaign runner) while this plan is attached.
+  bool integrity_guards = true;
+  /// Range bound for the guards: the toy networks keep activations O(1), so
+  /// any payload beyond this is a corruption, not data.
+  float range_bound = 1e6f;
+
+  bool empty() const {
+    return fifo_faults.empty() && replica_kills.empty() && batch_corruptions.empty();
+  }
+};
+
+}  // namespace dfc::fault

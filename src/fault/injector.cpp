@@ -1,0 +1,95 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dfc::fault {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kBitFlip: return "bit_flip";
+    case FaultKind::kJam: return "jam";
+    case FaultKind::kDropFlit: return "drop";
+    case FaultKind::kDuplicateFlit: return "duplicate";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+FaultInjector::~FaultInjector() { detach(); }
+
+void FaultInjector::attach(df::SimContext& ctx) {
+  DFC_REQUIRE(ctx_ == nullptr, "FaultInjector::attach: already attached");
+  pending_.clear();
+  pending_.reserve(plan_.fifo_faults.size());
+  for (const FaultSpec& spec : plan_.fifo_faults) {
+    df::FifoBase* target = ctx.find_fifo(spec.fifo);
+    DFC_REQUIRE(target != nullptr, "FaultInjector: unknown FIFO '" + spec.fifo + "'");
+    pending_.push_back(PendingFault{spec, target, false});
+  }
+  ctx_ = &ctx;
+  if (plan_.integrity_guards) ctx.enable_integrity_guards(this, plan_.range_bound);
+  ctx.attach_cycle_hook(this);
+}
+
+void FaultInjector::detach() {
+  if (ctx_ == nullptr) return;
+  for (ActiveJam& jam : jams_) jam.target->set_fault_jammed(false);
+  jams_.clear();
+  if (plan_.integrity_guards) ctx_->disable_integrity_guards();
+  ctx_->attach_cycle_hook(nullptr);
+  ctx_ = nullptr;
+}
+
+void FaultInjector::on_cycle_start(std::uint64_t cycle) {
+  // Release expired jams first so an exactly-N-cycle wedge frees the
+  // handshake at the cycle it is due.
+  for (std::size_t i = jams_.size(); i-- > 0;) {
+    if (cycle >= jams_[i].until) {
+      jams_[i].target->set_fault_jammed(false);
+      jams_[i] = jams_.back();
+      jams_.pop_back();
+    }
+  }
+  for (PendingFault& p : pending_) {
+    if (p.applied || cycle < p.spec.cycle) continue;
+    p.applied = true;
+    bool landed = false;
+    switch (p.spec.kind) {
+      case FaultKind::kBitFlip:
+        landed = p.target->fault_corrupt_payload(p.spec.bit);
+        break;
+      case FaultKind::kJam:
+        p.target->set_fault_jammed(true);
+        jams_.push_back(
+            ActiveJam{p.target, cycle + std::max<std::uint64_t>(1, p.spec.jam_cycles)});
+        landed = true;
+        break;
+      case FaultKind::kDropFlit:
+        landed = p.target->fault_drop_front();
+        break;
+      case FaultKind::kDuplicateFlit:
+        landed = p.target->fault_duplicate_front();
+        break;
+    }
+    injections_.push_back(InjectionRecord{p.spec, cycle, landed});
+  }
+}
+
+void FaultInjector::on_integrity_violation(const df::FifoBase& fifo, const char* what) {
+  detections_.push_back(
+      DetectionRecord{ctx_ != nullptr ? ctx_->cycle() : 0, fifo.name(), what});
+}
+
+bool FaultInjector::any_injection_landed() const {
+  return std::any_of(injections_.begin(), injections_.end(),
+                     [](const InjectionRecord& r) { return r.landed; });
+}
+
+std::uint64_t FaultInjector::first_detection_cycle() const {
+  return detections_.empty() ? kNever : detections_.front().cycle;
+}
+
+}  // namespace dfc::fault

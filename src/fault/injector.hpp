@@ -1,0 +1,87 @@
+// FaultInjector: executes a FaultPlan against one SimContext.
+//
+// Attached like a trace sink (SimContext::attach_cycle_hook), the injector
+// runs at the start of every cycle, before phase 1: it releases expired
+// handshake jams and applies every fault whose cycle has arrived. Attaching
+// forces the naive every-process-every-cycle scheduler and disables
+// fast_forward — injected state changes (a jam flipping can_pop/can_push, a
+// dropped flit) would otherwise violate the wake_cycle() no-op contract the
+// activity-aware scheduler relies on. With no injector attached the
+// simulation hot path keeps its null-check-only cost.
+//
+// The injector doubles as the FaultListener of the FIFO integrity guards it
+// arms, collecting cycle-stamped detection records for the campaign runner.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataflow/sim_context.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace dfc::fault {
+
+/// One injector drives one run: resetting the context rewinds the clock but
+/// not the injector's applied-fault bookkeeping, so build a fresh injector
+/// (or context) per trial.
+class FaultInjector final : public df::CycleHook, public df::FaultListener {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+  ~FaultInjector() override;
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Resolves the plan's FIFO names against `ctx` (ConfigError on a miss),
+  /// arms the integrity guards when the plan asks for them, and registers as
+  /// the context's cycle hook. The context must outlive the attachment.
+  void attach(df::SimContext& ctx);
+
+  /// Releases jams, disarms guards and unregisters the hook. Idempotent;
+  /// also run by the destructor.
+  void detach();
+
+  void on_cycle_start(std::uint64_t cycle) override;
+  void on_integrity_violation(const df::FifoBase& fifo, const char* what) override;
+
+  struct InjectionRecord {
+    FaultSpec spec;
+    std::uint64_t cycle = 0;  ///< when the fault fired
+    bool landed = false;      ///< whether simulated state actually mutated
+  };
+  struct DetectionRecord {
+    std::uint64_t cycle = 0;
+    std::string fifo;
+    std::string what;  ///< "checksum" or "range"
+  };
+
+  const FaultPlan& plan() const { return plan_; }
+  const std::vector<InjectionRecord>& injections() const { return injections_; }
+  const std::vector<DetectionRecord>& detections() const { return detections_; }
+  bool any_injection_landed() const;
+  bool any_detection() const { return !detections_.empty(); }
+  std::uint64_t first_detection_cycle() const;  ///< kNever while clean
+
+  static constexpr std::uint64_t kNever = ~std::uint64_t{0};
+
+ private:
+  struct PendingFault {
+    FaultSpec spec;
+    df::FifoBase* target = nullptr;
+    bool applied = false;
+  };
+  struct ActiveJam {
+    df::FifoBase* target = nullptr;
+    std::uint64_t until = 0;  ///< first cycle with the handshake free again
+  };
+
+  FaultPlan plan_;
+  df::SimContext* ctx_ = nullptr;
+  std::vector<PendingFault> pending_;
+  std::vector<ActiveJam> jams_;
+  std::vector<InjectionRecord> injections_;
+  std::vector<DetectionRecord> detections_;
+};
+
+}  // namespace dfc::fault

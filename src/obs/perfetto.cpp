@@ -156,6 +156,10 @@ void write_perfetto_trace(const TraceSink& sink, std::ostream& os) {
             w.slice(kCorePid, tid, ev.cycle, 1, "img " + std::to_string(ev.value));
             w.flow('f', kCorePid, tid, ev.cycle, ev.value);
             break;
+          case EventKind::kFaultDetect:
+            // DMA sink stream guard firing (framing/range).
+            w.slice(kCorePid, tid, ev.cycle, 1, "fault_detect");
+            break;
           default:
             break;  // FIFO kinds never carry a process entity
         }
@@ -206,6 +210,17 @@ void write_perfetto_trace(const TraceSink& sink, std::ostream& os) {
         case EventKind::kPop: --delta; break;
         case EventKind::kFullStall: feed_run(0, ev.cycle); break;
         case EventKind::kEmptyStall: feed_run(1, ev.cycle); break;
+        case EventKind::kFaultInject:
+          w.slice(kFifoPid, tid, ev.cycle, 1, "fault_inject");
+          // Keep the occupancy counter honest: value is the df::kFaultTrace*
+          // id — a dropped flit (2) leaves without a kPop, a duplicated
+          // one (3) appears without a kPush.
+          if (ev.value == 2) --delta;
+          if (ev.value == 3) ++delta;
+          break;
+        case EventKind::kFaultDetect:
+          w.slice(kFifoPid, tid, ev.cycle, 1, "fault_detect");
+          break;
         default: break;
       }
     }

@@ -38,6 +38,8 @@ enum class EventKind : std::uint8_t {
   kCoreState = 4,   ///< a core's activity classification changed (value: CoreState)
   kImageStart = 5,  ///< DMA source injected the first word of image `value`
   kImageDone = 6,   ///< DMA sink received the last word of image `value`
+  kFaultInject = 7,  ///< fault injector mutated this entity (value: FaultKind)
+  kFaultDetect = 8,  ///< an integrity guard fired on this entity (value: detector id)
 };
 
 /// Is the entity a channel or a module? Determines its Perfetto track group.

@@ -86,6 +86,10 @@ void ReplicaPool::execute(const std::vector<BatchRecord>& batch_records,
   dfc::run_indexed(size(), threads, [&](std::size_t r) {
     for (const std::size_t b : per_replica[r]) {
       const BatchRecord& rec = batch_records[b];
+      // A failed batch died mid-service (no outputs to replay) and a
+      // corrupted one was rejected by detection; their requests get logits
+      // from the retry batch, or none if the retry budget ran out.
+      if (rec.failed || rec.corrupted) continue;
       std::vector<Tensor> batch_images;
       batch_images.reserve(rec.size());
       for (const std::uint64_t id : rec.request_ids) {

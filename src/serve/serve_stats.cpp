@@ -25,6 +25,18 @@ std::string ServeStats::render() const {
   t.add_row({"p99 latency (us)", fmt_fixed(us(static_cast<double>(p99_latency_cycles)), 3)});
   t.add_row({"mean latency (us)", fmt_fixed(us(mean_latency_cycles), 3)});
   t.add_row({"makespan (cycles)", std::to_string(makespan_cycles)});
+  // Resilience rows only appear once faults were in play, so the fault-free
+  // table stays byte-identical to the pre-fault serving system.
+  if (retried_requests + retry_attempts + failed_requests + failed_batches +
+          corrupted_batches + quarantined_replicas >
+      0) {
+    t.add_row({"retried requests", std::to_string(retried_requests)});
+    t.add_row({"retry attempts", std::to_string(retry_attempts)});
+    t.add_row({"failed requests", std::to_string(failed_requests)});
+    t.add_row({"failed batches", std::to_string(failed_batches)});
+    t.add_row({"corrupted batches", std::to_string(corrupted_batches)});
+    t.add_row({"quarantined replicas", std::to_string(quarantined_replicas)});
+  }
   return t.render();
 }
 

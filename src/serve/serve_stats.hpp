@@ -21,7 +21,12 @@ struct RequestOutcome {
   std::size_t replica = 0;
   std::vector<float> logits;  ///< filled only when outputs are computed
 
-  /// Queueing + service latency (valid when !shed).
+  // Fault-mode recovery bookkeeping (zero in fault-free runs).
+  std::uint32_t retries = 0;  ///< re-enqueues after a failed/corrupted batch
+  bool failed = false;        ///< retry budget exhausted or pool fully dead
+
+  /// Queueing + service latency (valid when !shed && !failed); the arrival is
+  /// the original one, so retried requests pay their wasted attempts.
   std::uint64_t latency_cycles() const { return completion_cycle - arrival_cycle; }
 };
 
@@ -30,8 +35,13 @@ struct BatchRecord {
   std::size_t id = 0;
   std::size_t replica = 0;
   std::uint64_t dispatch_cycle = 0;
-  std::uint64_t completion_cycle = 0;
+  std::uint64_t completion_cycle = 0;  ///< kill cycle for a failed batch
   std::vector<std::uint64_t> request_ids;
+
+  // Fault-mode flags: a failed batch died with its replica mid-service; a
+  // corrupted batch completed on time but detection rejected its outputs.
+  bool failed = false;
+  bool corrupted = false;
 
   std::size_t size() const { return request_ids.size(); }
   std::uint64_t service_cycles() const { return completion_cycle - dispatch_cycle; }
@@ -60,6 +70,15 @@ struct ServeStats {
   double mean_latency_cycles = 0.0;
 
   std::uint64_t makespan_cycles = 0;  ///< first arrival -> last completion
+
+  // Fault-mode counters (all zero in fault-free runs; render() hides them
+  // then, keeping fault-free output byte-identical to the pre-fault system).
+  std::uint64_t retried_requests = 0;    ///< requests re-enqueued at least once
+  std::uint64_t retry_attempts = 0;      ///< total re-enqueues
+  std::size_t failed_requests = 0;       ///< retry budget exhausted / pool dead
+  std::size_t failed_batches = 0;        ///< batches killed mid-service
+  std::size_t corrupted_batches = 0;     ///< batches rejected by detection
+  std::size_t quarantined_replicas = 0;  ///< replicas removed from the pool
 
   /// ASCII table for the CLI (latency shown in both cycles and us).
   std::string render() const;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 
 #include "common/csv.hpp"
 #include "common/math_util.hpp"
@@ -18,11 +20,12 @@ constexpr std::uint64_t kNever = DynamicBatcher::kNever;
 ServeStats summarize(const std::vector<Request>& requests,
                      const std::vector<RequestOutcome>& outcomes,
                      const std::vector<BatchRecord>& batches, std::size_t max_queue_depth,
-                     double depth_cycle_area) {
+                     double depth_cycle_area, std::size_t quarantined_replicas) {
   ServeStats s;
   s.offered_requests = requests.size();
   s.batches = batches.size();
   s.max_queue_depth = max_queue_depth;
+  s.quarantined_replicas = quarantined_replicas;
 
   const std::uint64_t first_arrival = requests.front().arrival_cycle;
   const std::uint64_t last_arrival = requests.back().arrival_cycle;
@@ -33,8 +36,16 @@ ServeStats summarize(const std::vector<Request>& requests,
   double latency_sum = 0.0;
   std::size_t batched_requests = 0;
   for (const RequestOutcome& o : outcomes) {
+    if (o.retries > 0) {
+      ++s.retried_requests;
+      s.retry_attempts += o.retries;
+    }
     if (o.shed) {
       ++s.shed_requests;
+      continue;
+    }
+    if (o.failed) {
+      ++s.failed_requests;
       continue;
     }
     ++s.completed_requests;
@@ -42,7 +53,11 @@ ServeStats summarize(const std::vector<Request>& requests,
     latency_sum += static_cast<double>(o.latency_cycles());
     last_completion = std::max(last_completion, o.completion_cycle);
   }
-  for (const BatchRecord& b : batches) batched_requests += b.size();
+  for (const BatchRecord& b : batches) {
+    batched_requests += b.size();
+    if (b.failed) ++s.failed_batches;
+    if (b.corrupted) ++s.corrupted_batches;
+  }
   s.mean_batch_size =
       s.batches > 0 ? static_cast<double>(batched_requests) / static_cast<double>(s.batches)
                     : 0.0;
@@ -84,9 +99,36 @@ ServeReport plan_serving(const std::vector<Request>& requests, const ServeConfig
                 "requests must be sorted by arrival cycle");
   }
 
+  // Fault mode is active only when the plan actually targets serving; the
+  // fault-free path below is then byte-identical to the pre-fault planner
+  // (same events, same metrics, same stats).
+  const bool fault_mode =
+      config.faults != nullptr && (!config.faults->replica_kills.empty() ||
+                                   !config.faults->batch_corruptions.empty());
+
   const DynamicBatcher batcher(config.batcher);
   RequestQueue queue(config.queue_capacity);
   std::vector<std::uint64_t> busy_until(config.replicas, 0);
+
+  // Per-replica death cycle (kNever = healthy). A scheduled kill from the
+  // fault plan sets it up front; a corruption quarantine lowers it to "now"
+  // the moment the replica crosses the corrupted-batch threshold.
+  std::vector<std::uint64_t> kill_cycle(config.replicas, kNever);
+  std::vector<bool> dead(config.replicas, false);
+  std::vector<std::size_t> corruptions(config.replicas, 0);
+  std::vector<std::size_t> dispatch_ordinal(config.replicas, 0);
+  std::set<std::pair<std::size_t, std::size_t>> corrupt_batches;  // (replica, nth dispatch)
+  if (fault_mode) {
+    for (const fault::ReplicaKillSpec& k : config.faults->replica_kills) {
+      DFC_REQUIRE(k.replica < config.replicas, "replica kill targets unknown replica");
+      kill_cycle[k.replica] = std::min(kill_cycle[k.replica], k.cycle);
+    }
+    for (const fault::BatchCorruptSpec& c : config.faults->batch_corruptions) {
+      DFC_REQUIRE(c.replica < config.replicas, "batch corruption targets unknown replica");
+      corrupt_batches.insert({c.replica, c.nth_batch});
+    }
+  }
+  std::size_t quarantined = 0;
 
   // Optional metrics hookup: every figure below is derived from the simulated
   // timeline (no wall clock), so the registry contents are deterministic.
@@ -95,6 +137,11 @@ ServeReport plan_serving(const std::vector<Request>& requests, const ServeConfig
   dfc::Counter* replica_busy_metric = nullptr;
   dfc::Histogram* batch_size_metric = nullptr;
   dfc::Histogram* latency_metric = nullptr;
+  dfc::Counter* retry_metric = nullptr;
+  dfc::Counter* failed_requests_metric = nullptr;
+  dfc::Counter* failed_batches_metric = nullptr;
+  dfc::Counter* corrupted_batches_metric = nullptr;
+  dfc::Gauge* quarantined_metric = nullptr;
   if (config.metrics != nullptr) {
     queue.attach_metrics(*config.metrics);
     batches_metric = &config.metrics->counter("serve_batches_total", "Batches dispatched");
@@ -108,6 +155,20 @@ ServeReport plan_serving(const std::vector<Request>& requests, const ServeConfig
     latency_metric = &config.metrics->histogram(
         "serve_latency_cycles", "Request latency (arrival to completion) in fabric cycles",
         dfc::exponential_buckets(256.0, 2.0, 16));
+    if (fault_mode) {
+      // Registered only in fault mode so fault-free registries (and their
+      // snapshot CSV columns) stay byte-identical to the pre-fault system.
+      retry_metric =
+          &config.metrics->counter("serve_retry_attempts_total", "Requests re-enqueued");
+      failed_requests_metric = &config.metrics->counter(
+          "serve_failed_requests_total", "Requests whose retry budget ran out");
+      failed_batches_metric = &config.metrics->counter("serve_failed_batches_total",
+                                                       "Batches killed mid-service");
+      corrupted_batches_metric = &config.metrics->counter(
+          "serve_corrupted_batches_total", "Batches rejected by output detection");
+      quarantined_metric = &config.metrics->gauge("serve_quarantined_replicas",
+                                                  "Replicas removed from the pool");
+    }
   }
 
   // Periodic CSV snapshots of the registry, stamped with the fabric cycle.
@@ -145,12 +206,77 @@ ServeReport plan_serving(const std::vector<Request>& requests, const ServeConfig
   std::uint64_t now = requests.front().arrival_cycle;
   std::size_t max_depth = 0;
   double depth_cycle_area = 0.0;
+  std::uint64_t retry_shed = 0;
+
+  // Fault-mode bookkeeping: batches awaiting their verdict (finalize cycle,
+  // batch id) and requests waiting out a retry backoff (ready cycle, id).
+  // Both std::set — event order is deterministic by construction.
+  std::set<std::pair<std::uint64_t, std::size_t>> pending_verdicts;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> retry_backlog;
+
+  auto replica_dead = [&](std::size_t r) { return fault_mode && kill_cycle[r] <= now; };
 
   auto lowest_free_replica = [&]() -> std::size_t {
     for (std::size_t r = 0; r < busy_until.size(); ++r) {
-      if (busy_until[r] <= now) return r;
+      if (busy_until[r] <= now && !replica_dead(r)) return r;
     }
     return busy_until.size();  // none free
+  };
+
+  auto mark_dead_replicas = [&] {
+    if (!fault_mode) return;
+    for (std::size_t r = 0; r < kill_cycle.size(); ++r) {
+      if (kill_cycle[r] <= now && !dead[r]) {
+        dead[r] = true;
+        ++quarantined;
+        if (quarantined_metric != nullptr) {
+          quarantined_metric->set(static_cast<double>(quarantined));
+        }
+      }
+    }
+  };
+
+  // Request-level recovery: re-enqueue with exponential backoff until the
+  // retry budget is spent, then give up on the request.
+  auto retry_or_fail = [&](std::uint64_t id) {
+    RequestOutcome& o = report.outcomes[id];
+    if (o.retries >= config.recovery.max_retries) {
+      o.failed = true;
+      if (failed_requests_metric != nullptr) failed_requests_metric->inc();
+      return;
+    }
+    ++o.retries;
+    const std::uint64_t backoff =
+        config.recovery.backoff_cycles << std::min<std::uint32_t>(o.retries - 1, 32);
+    retry_backlog.insert({now + backoff, id});
+    if (retry_metric != nullptr) retry_metric->inc();
+  };
+
+  // Deliver verdicts for batches whose service interval has elapsed: clean
+  // batches complete their requests; failed/corrupted ones send every rider
+  // back through retry_or_fail and feed the quarantine counter.
+  auto finalize_due_batches = [&] {
+    while (!pending_verdicts.empty() && pending_verdicts.begin()->first <= now) {
+      const std::size_t bid = pending_verdicts.begin()->second;
+      pending_verdicts.erase(pending_verdicts.begin());
+      const BatchRecord& rec = report.batch_records[bid];
+      if (replica_busy_metric != nullptr) replica_busy_metric->inc(rec.service_cycles());
+      if (rec.failed || rec.corrupted) {
+        if (rec.failed && failed_batches_metric != nullptr) failed_batches_metric->inc();
+        if (rec.corrupted) {
+          if (corrupted_batches_metric != nullptr) corrupted_batches_metric->inc();
+          if (++corruptions[rec.replica] >= config.recovery.quarantine_after_corruptions) {
+            kill_cycle[rec.replica] = std::min(kill_cycle[rec.replica], now);
+          }
+        }
+        for (const std::uint64_t id : rec.request_ids) retry_or_fail(id);
+      } else if (config.metrics != nullptr) {
+        completed_metric->inc(rec.size());
+        for (const std::uint64_t id : rec.request_ids) {
+          latency_metric->observe(static_cast<double>(report.outcomes[id].latency_cycles()));
+        }
+      }
+    }
   };
 
   auto dispatch_ready_batches = [&] {
@@ -167,6 +293,18 @@ ServeReport plan_serving(const std::vector<Request>& requests, const ServeConfig
       rec.dispatch_cycle = now;
       const std::size_t k = batcher.take_count(queue.size());
       rec.completion_cycle = now + service_table[k - 1];
+      if (fault_mode) {
+        if (kill_cycle[replica] <= rec.completion_cycle) {
+          // The replica dies mid-service: the batch is lost at the kill
+          // cycle and the replica never comes back.
+          rec.failed = true;
+          rec.completion_cycle = kill_cycle[replica];
+        } else if (corrupt_batches.count({replica, dispatch_ordinal[replica]}) > 0) {
+          // Service completes on time but output detection rejects it.
+          rec.corrupted = true;
+        }
+        ++dispatch_ordinal[replica];
+      }
       rec.request_ids.reserve(k);
       for (std::size_t j = 0; j < k; ++j) {
         const Request r = *queue.try_pop();
@@ -180,14 +318,19 @@ ServeReport plan_serving(const std::vector<Request>& requests, const ServeConfig
       busy_until[replica] = rec.completion_cycle;
       if (config.metrics != nullptr) {
         batches_metric->inc();
-        completed_metric->inc(k);
-        replica_busy_metric->inc(rec.service_cycles());
         batch_size_metric->observe(static_cast<double>(k));
-        for (const std::uint64_t id : rec.request_ids) {
-          latency_metric->observe(
-              static_cast<double>(report.outcomes[id].latency_cycles()));
+        if (!fault_mode) {
+          // Fault-free fast path: the verdict is known at dispatch, so the
+          // completion metrics land here exactly as before faults existed.
+          completed_metric->inc(k);
+          replica_busy_metric->inc(rec.service_cycles());
+          for (const std::uint64_t id : rec.request_ids) {
+            latency_metric->observe(
+                static_cast<double>(report.outcomes[id].latency_cycles()));
+          }
         }
       }
+      if (fault_mode) pending_verdicts.insert({rec.completion_cycle, rec.id});
       report.batch_records.push_back(std::move(rec));
     }
   };
@@ -197,10 +340,11 @@ ServeReport plan_serving(const std::vector<Request>& requests, const ServeConfig
                        [&](std::uint64_t b) { return b > now; });
   };
 
-  while (next_arrival < requests.size() || !queue.empty() || any_replica_busy()) {
-    // Next event: an arrival, a replica completion, or — when a replica is
-    // already free and the queue is merely waiting to fill — the batcher's
-    // timeout deadline.
+  while (next_arrival < requests.size() || !queue.empty() || any_replica_busy() ||
+         !retry_backlog.empty()) {
+    // Next event: an arrival, a replica completion, a retry coming off its
+    // backoff, or — when a replica is already free and the queue is merely
+    // waiting to fill — the batcher's timeout deadline.
     std::uint64_t t = kNever;
     if (next_arrival < requests.size()) {
       t = std::min(t, requests[next_arrival].arrival_cycle);
@@ -208,17 +352,44 @@ ServeReport plan_serving(const std::vector<Request>& requests, const ServeConfig
     for (const std::uint64_t b : busy_until) {
       if (b > now) t = std::min(t, b);
     }
+    if (!retry_backlog.empty()) t = std::min(t, retry_backlog.begin()->first);
     if (const auto oldest = queue.oldest_arrival_cycle();
         oldest && lowest_free_replica() < busy_until.size()) {
       t = std::min(t, batcher.close_deadline(*oldest));
     }
-    DFC_CHECK(t != kNever && t >= now, "serve event loop lost its next event");
+    if (t == kNever) {
+      // Only possible once every replica is dead: nothing can ever complete,
+      // so drain what is left and degrade gracefully instead of wedging.
+      DFC_CHECK(fault_mode, "serve event loop lost its next event");
+      while (const auto r = queue.try_pop()) {
+        report.outcomes[r->id].failed = true;
+        if (failed_requests_metric != nullptr) failed_requests_metric->inc();
+      }
+      for (const auto& [ready, id] : retry_backlog) {
+        (void)ready;
+        report.outcomes[id].failed = true;
+        if (failed_requests_metric != nullptr) failed_requests_metric->inc();
+      }
+      retry_backlog.clear();
+      while (next_arrival < requests.size()) {
+        report.outcomes[requests[next_arrival].id].failed = true;
+        if (failed_requests_metric != nullptr) failed_requests_metric->inc();
+        ++next_arrival;
+      }
+      break;
+    }
+    DFC_CHECK(t >= now, "serve event loop lost its next event");
 
     // Snapshot points strictly before t see the state after all events <= t-1.
     if (t > 0) take_snapshots_up_to(t - 1);
 
     depth_cycle_area += static_cast<double>(queue.size()) * static_cast<double>(t - now);
     now = t;
+
+    // Fixed per-cycle order: verdicts first (frees replicas, schedules
+    // retries), then fresh arrivals, then due retries, then dispatch.
+    finalize_due_batches();
+    mark_dead_replicas();
 
     while (next_arrival < requests.size() &&
            requests[next_arrival].arrival_cycle == now) {
@@ -227,15 +398,32 @@ ServeReport plan_serving(const std::vector<Request>& requests, const ServeConfig
       ++next_arrival;
       max_depth = std::max(max_depth, queue.size());
     }
+    while (!retry_backlog.empty() && retry_backlog.begin()->first <= now) {
+      const std::uint64_t id = retry_backlog.begin()->second;
+      retry_backlog.erase(retry_backlog.begin());
+      const Request retry{id, now, requests[id].image_index};
+      if (queue.try_push(retry) == Admission::kShed) {
+        // A retry shed by a full queue is terminal — the request failed.
+        report.outcomes[id].failed = true;
+        ++retry_shed;
+        if (failed_requests_metric != nullptr) failed_requests_metric->inc();
+      }
+      max_depth = std::max(max_depth, queue.size());
+    }
     dispatch_ready_batches();
   }
+
+  // An in-flight batch keeps its replica busy, and a busy replica keeps the
+  // loop alive until its completion event — so every batch has its verdict.
+  DFC_CHECK(pending_verdicts.empty(), "serve loop exited with unfinalized batches");
+  mark_dead_replicas();
 
   take_snapshots_up_to(now);
   if (snapshot_csv != nullptr) report.metrics_csv = snapshot_csv->str();
 
   report.stats = summarize(requests, report.outcomes, report.batch_records, max_depth,
-                           depth_cycle_area);
-  DFC_CHECK(report.stats.shed_requests == queue.shed_count(),
+                           depth_cycle_area, quarantined);
+  DFC_CHECK(report.stats.shed_requests + retry_shed == queue.shed_count(),
             "outcome shed flags disagree with the queue's shed counter");
   return report;
 }

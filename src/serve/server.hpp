@@ -22,12 +22,24 @@
 
 #include "common/metrics.hpp"
 #include "core/builder.hpp"
+#include "fault/fault_plan.hpp"
 #include "serve/batcher.hpp"
 #include "serve/load_generator.hpp"
 #include "serve/replica_pool.hpp"
 #include "serve/serve_stats.hpp"
 
 namespace dfc::serve {
+
+/// Recovery policy for fault-mode serving (active when ServeConfig::faults
+/// carries replica kills or batch corruptions): requests of a failed or
+/// corrupted batch are re-enqueued with capped retry and exponential backoff,
+/// while the offending replica is quarantined — drained and never dispatched
+/// to again — so the pool degrades gracefully instead of wedging.
+struct RecoveryPolicy {
+  std::size_t max_retries = 2;         ///< re-enqueues per request before it fails
+  std::uint64_t backoff_cycles = 256;  ///< first retry delay; doubles per attempt
+  std::size_t quarantine_after_corruptions = 2;  ///< corrupted batches per replica
+};
 
 struct ServeConfig {
   std::size_t replicas = 2;
@@ -51,6 +63,13 @@ struct ServeConfig {
   /// (stamped with the fabric cycle) each time the timeline crosses a
   /// multiple of this many cycles; the rows land in ServeReport::metrics_csv.
   std::uint64_t metrics_snapshot_cycles = 0;
+
+  /// Optional fault plan (non-owning; must outlive the run). The planner
+  /// consumes its replica_kills and batch_corruptions; with it null or empty
+  /// the timeline, metrics and stats are byte-identical to the fault-free
+  /// system. Fifo faults in the plan are the campaign runner's business.
+  const fault::FaultPlan* faults = nullptr;
+  RecoveryPolicy recovery{};
 };
 
 /// Plans the serving timeline for `requests` (sorted by arrival, ids equal

@@ -7,7 +7,9 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <string>
 
 #include "common/error.hpp"
@@ -96,5 +98,38 @@ struct Window {
     return taps[static_cast<std::size_t>(dy * kw + dx)];
   }
 };
+
+/// Fault-injection payload mapping for Window FIFOs (found by ADL from
+/// dfc::df::Fifo<Window>): the flat bit index addresses the IEEE-754 bit
+/// `bit % 32` of tap `(bit / 32) % count`. Windows with no taps refuse.
+inline bool fault_flip_payload_bit(Window& w, std::uint32_t bit) {
+  if (w.count == 0) return false;
+  const std::size_t tap = (bit / 32u) % w.count;
+  std::uint32_t u = 0;
+  std::memcpy(&u, &w.taps[tap], sizeof u);
+  u ^= 1u << (bit % 32u);
+  std::memcpy(&w.taps[tap], &u, sizeof u);
+  return true;
+}
+
+/// Checksum over the live taps (position metadata is host-side bookkeeping).
+inline std::uint32_t fault_payload_checksum(const Window& w) {
+  std::uint32_t sum = 0x811c9dc5u;  // FNV-1a over the tap words
+  for (std::uint16_t i = 0; i < w.count; ++i) {
+    std::uint32_t u = 0;
+    std::memcpy(&u, &w.taps[i], sizeof u);
+    sum = (sum ^ u) * 16777619u;
+  }
+  if (w.last_of_image) sum ^= 0x9e3779b9u;
+  return sum;
+}
+
+/// Range guard: every live tap must be finite and within ±bound.
+inline bool fault_payload_in_range(const Window& w, float bound) {
+  for (std::uint16_t i = 0; i < w.count; ++i) {
+    if (!(std::isfinite(w.taps[i]) && std::fabs(w.taps[i]) <= bound)) return false;
+  }
+  return true;
+}
 
 }  // namespace dfc::sst

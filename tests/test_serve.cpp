@@ -12,6 +12,7 @@
 #include "common/error.hpp"
 #include "common/math_util.hpp"
 #include "core/presets.hpp"
+#include "fault/fault_plan.hpp"
 #include "serve/batcher.hpp"
 #include "serve/load_generator.hpp"
 #include "serve/replica_pool.hpp"
@@ -160,6 +161,21 @@ TEST(BatcherTest, DeadlineSaturatesInsteadOfWrapping) {
   EXPECT_EQ(b.close_deadline(10), DynamicBatcher::kNever);
 }
 
+TEST(BatcherTest, DeadlineSaturatesForLateArrivalsToo) {
+  // Regression: a moderate max_wait must also saturate when the *arrival*
+  // cycle sits near UINT64_MAX — a wrapped deadline would read as "the
+  // timeout fired aeons ago" and close every batch instantly.
+  constexpr std::uint64_t kMax = ~std::uint64_t{0};
+  DynamicBatcher b({4, 100});
+  EXPECT_EQ(b.close_deadline(kMax - 50), DynamicBatcher::kNever);
+  EXPECT_EQ(b.close_deadline(kMax), DynamicBatcher::kNever);
+  EXPECT_FALSE(b.should_close(1, kMax - 50, kMax - 40));  // would wrap to ~49
+  EXPECT_FALSE(b.should_close(1, kMax - 50, kMax - 1));  // open for every now < kNever
+  // The exact-fit deadline (no wrap) still closes normally.
+  EXPECT_EQ(b.close_deadline(kMax - 100), kMax);
+  EXPECT_TRUE(b.should_close(1, kMax - 100, kMax));
+}
+
 // --- load generator ------------------------------------------------------------
 
 TEST(LoadGeneratorTest, DeterministicSortedAndSeedSensitive) {
@@ -303,6 +319,152 @@ TEST(PlanServingTest, LateArrivalJoinsBatchClosingThatCycle) {
   ASSERT_EQ(report.batch_records.size(), 1u);
   EXPECT_EQ(report.batch_records[0].size(), 2u);
   EXPECT_EQ(report.batch_records[0].dispatch_cycle, 500u);
+}
+
+// --- plan_serving: fault recovery ----------------------------------------------
+
+TEST(FaultRecoveryTest, ReplicaKillRetriesOnSurvivorAndQuarantines) {
+  // Two replicas, eight simultaneous requests: batch {0..3} dispatches on
+  // replica 0, batch {4..7} on replica 1. Killing replica 0 at cycle 50 fails
+  // the first batch mid-service; its requests retry after the backoff and
+  // complete on the surviving replica.
+  std::vector<Request> reqs;
+  for (std::uint64_t i = 0; i < 8; ++i) reqs.push_back(make_request(i, 0));
+  ServeConfig config = basic_config(4, 1'000'000, 2);
+  fault::FaultPlan plan;
+  plan.replica_kills.push_back({0, 50});
+  config.faults = &plan;
+  const auto report = plan_serving(reqs, config, synthetic_table(4));
+
+  EXPECT_EQ(report.stats.failed_batches, 1u);
+  EXPECT_EQ(report.stats.quarantined_replicas, 1u);
+  EXPECT_EQ(report.stats.retried_requests, 4u);
+  EXPECT_EQ(report.stats.retry_attempts, 4u);
+  EXPECT_EQ(report.stats.completed_requests, 8u);
+  EXPECT_EQ(report.stats.failed_requests, 0u);
+
+  const BatchRecord& killed = report.batch_records.at(0);
+  EXPECT_TRUE(killed.failed);
+  EXPECT_EQ(killed.replica, 0u);
+  EXPECT_EQ(killed.completion_cycle, 50u);  // died at the kill, not on schedule
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(report.outcomes[i].retries, 1u);
+    EXPECT_FALSE(report.outcomes[i].failed);
+    // Retry re-enters the queue after the backoff, then queues behind the
+    // survivor's in-flight batch.
+    EXPECT_GE(report.outcomes[i].completion_cycle, 50u + config.recovery.backoff_cycles);
+  }
+  // Every post-kill batch lands on the surviving replica.
+  for (std::size_t b = 1; b < report.batch_records.size(); ++b) {
+    EXPECT_EQ(report.batch_records[b].replica, 1u);
+  }
+}
+
+TEST(FaultRecoveryTest, CorruptedBatchIsRetriedWithoutQuarantine) {
+  // Detection rejects the first batch's outputs after it completes on time;
+  // one corruption stays below the quarantine threshold, so the same replica
+  // serves the retry.
+  std::vector<Request> reqs;
+  for (std::uint64_t i = 0; i < 4; ++i) reqs.push_back(make_request(i, 0));
+  ServeConfig config = basic_config(4, 1'000'000, 1);
+  fault::FaultPlan plan;
+  plan.batch_corruptions.push_back({0, 0});
+  config.faults = &plan;
+  const auto report = plan_serving(reqs, config, synthetic_table(4));
+
+  EXPECT_EQ(report.stats.corrupted_batches, 1u);
+  EXPECT_EQ(report.stats.failed_batches, 0u);
+  EXPECT_EQ(report.stats.quarantined_replicas, 0u);
+  EXPECT_EQ(report.stats.retried_requests, 4u);
+  EXPECT_EQ(report.stats.completed_requests, 4u);
+  EXPECT_EQ(report.stats.failed_requests, 0u);
+  ASSERT_EQ(report.batch_records.size(), 2u);
+  EXPECT_TRUE(report.batch_records[0].corrupted);
+  EXPECT_FALSE(report.batch_records[1].corrupted);
+  // Verdict lands at completion (140), retry after the backoff, full service.
+  EXPECT_EQ(report.outcomes[0].completion_cycle,
+            140u + config.recovery.backoff_cycles + 140u);
+}
+
+TEST(FaultRecoveryTest, RepeatedCorruptionQuarantinesTheReplica) {
+  // Replica 0 corrupts its first two batches: the second corruption trips
+  // quarantine_after_corruptions = 2 and the pool degrades to replica 1.
+  std::vector<Request> reqs;
+  for (std::uint64_t i = 0; i < 8; ++i) reqs.push_back(make_request(i, 0));
+  ServeConfig config = basic_config(4, 1'000'000, 2);
+  fault::FaultPlan plan;
+  plan.batch_corruptions.push_back({0, 0});
+  plan.batch_corruptions.push_back({0, 1});
+  config.faults = &plan;
+  const auto report = plan_serving(reqs, config, synthetic_table(4));
+
+  EXPECT_EQ(report.stats.corrupted_batches, 2u);
+  EXPECT_EQ(report.stats.quarantined_replicas, 1u);
+  EXPECT_EQ(report.stats.completed_requests, 8u);
+  EXPECT_EQ(report.stats.failed_requests, 0u);
+}
+
+TEST(FaultRecoveryTest, ExhaustedRetryBudgetFailsTheRequests) {
+  // max_retries = 0: the corrupted batch's requests fail terminally instead
+  // of re-enqueueing.
+  std::vector<Request> reqs;
+  for (std::uint64_t i = 0; i < 4; ++i) reqs.push_back(make_request(i, 0));
+  ServeConfig config = basic_config(4, 1'000'000, 1);
+  config.recovery.max_retries = 0;
+  fault::FaultPlan plan;
+  plan.batch_corruptions.push_back({0, 0});
+  config.faults = &plan;
+  const auto report = plan_serving(reqs, config, synthetic_table(4));
+
+  EXPECT_EQ(report.stats.corrupted_batches, 1u);
+  EXPECT_EQ(report.stats.retry_attempts, 0u);
+  EXPECT_EQ(report.stats.failed_requests, 4u);
+  EXPECT_EQ(report.stats.completed_requests, 0u);
+  for (const RequestOutcome& o : report.outcomes) {
+    EXPECT_TRUE(o.failed);
+    EXPECT_FALSE(o.shed);
+  }
+}
+
+TEST(FaultRecoveryTest, TotalPoolDeathDrainsGracefully) {
+  // The only replica dies mid-batch: retries have nowhere to go, so the plan
+  // drains everything as failed instead of spinning forever.
+  std::vector<Request> reqs;
+  for (std::uint64_t i = 0; i < 8; ++i) reqs.push_back(make_request(i, 0));
+  ServeConfig config = basic_config(4, 1'000'000, 1);
+  fault::FaultPlan plan;
+  plan.replica_kills.push_back({0, 50});
+  config.faults = &plan;
+  const auto report = plan_serving(reqs, config, synthetic_table(4));
+
+  EXPECT_EQ(report.stats.quarantined_replicas, 1u);
+  EXPECT_EQ(report.stats.completed_requests, 0u);
+  EXPECT_EQ(report.stats.failed_requests, 8u);
+  for (const RequestOutcome& o : report.outcomes) EXPECT_TRUE(o.failed);
+}
+
+TEST(FaultRecoveryTest, EmptyPlanMatchesTheFaultFreePath) {
+  // A present-but-empty plan must not perturb the planner: byte-identical
+  // schedule and stats against config.faults == nullptr.
+  std::vector<Request> reqs;
+  for (std::uint64_t i = 0; i < 16; ++i) reqs.push_back(make_request(i, i * 37));
+  const auto baseline = plan_serving(reqs, basic_config(4, 500, 2), synthetic_table(4));
+
+  ServeConfig config = basic_config(4, 500, 2);
+  fault::FaultPlan plan;
+  config.faults = &plan;
+  const auto with_plan = plan_serving(reqs, config, synthetic_table(4));
+
+  ASSERT_EQ(baseline.batch_records.size(), with_plan.batch_records.size());
+  for (std::size_t i = 0; i < baseline.batch_records.size(); ++i) {
+    EXPECT_EQ(baseline.batch_records[i].dispatch_cycle, with_plan.batch_records[i].dispatch_cycle);
+    EXPECT_EQ(baseline.batch_records[i].completion_cycle,
+              with_plan.batch_records[i].completion_cycle);
+    EXPECT_EQ(baseline.batch_records[i].request_ids, with_plan.batch_records[i].request_ids);
+  }
+  EXPECT_EQ(baseline.stats.completed_requests, with_plan.stats.completed_requests);
+  EXPECT_EQ(with_plan.stats.retry_attempts, 0u);
+  EXPECT_EQ(with_plan.stats.quarantined_replicas, 0u);
 }
 
 // --- end-to-end server: determinism and output correctness ---------------------

@@ -11,11 +11,19 @@
 //                                            simulate with event tracing and
 //                                            write a Perfetto JSON trace
 //   dfcnn serve     <design> [requests] [rate] [replicas] [--metrics]
-//                                            open-loop serving scenario
+//                   [--seed S] [--rate R]    open-loop serving scenario
 //                                            (rate in req/s, 0 = 80% of
 //                                            estimated capacity); --metrics
 //                                            prints the Prometheus-style
-//                                            registry after the run
+//                                            registry after the run; --seed
+//                                            reseeds the arrival process
+//   dfcnn faults    <design> [--seed S] [--trials N] [--batch B]
+//                   [--no-detect] [--out faults.csv]
+//                                            fault-injection campaign: random
+//                                            bit-flip/jam/drop/duplicate
+//                                            faults on every FIFO, trials
+//                                            classified masked / detected /
+//                                            SDC / hang
 //   dfcnn dse       <preset> [device]        automated port-plan exploration
 //   dfcnn partition <design> <boards> [device]  multi-FPGA mapping
 //   dfcnn export    <preset> <out.dfcnn>     save a compiled design artifact
@@ -40,6 +48,7 @@
 #include "multifpga/partition.hpp"
 #include "obs/perfetto.hpp"
 #include "obs/trace.hpp"
+#include "fault/campaign.hpp"
 #include "report/experiments.hpp"
 #include "serve/server.hpp"
 
@@ -49,15 +58,18 @@ using namespace dfc;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: dfcnn <info|dot|simulate|trace|serve|dse|partition|export> <design> "
-               "[args]\n"
+               "usage: dfcnn <info|dot|simulate|trace|serve|faults|dse|partition|export> "
+               "<design> [args]\n"
                "  designs: usps | cifar | alexnet | <path to .dfcnn file>\n"
                "  devices: virtex7-485t | virtex7-330t | kintex7-325t\n"
                "  dot:     dfcnn dot <design> [batch=0]   (batch > 0 simulates first and\n"
                "           annotates edges with FIFO pressure)\n"
                "  trace:   dfcnn trace <design> [batch=4] [--out trace.json]\n"
                "  serve:   dfcnn serve <design> [requests=2000] [rate_rps=0(auto)] "
-               "[replicas=2] [--metrics]\n");
+               "[replicas=2]\n"
+               "           [--metrics] [--seed S=7] [--rate R]\n"
+               "  faults:  dfcnn faults <design> [--seed S=1] [--trials N=64] [--batch B=4]\n"
+               "           [--no-detect] [--out faults.csv]\n");
   return 2;
 }
 
@@ -150,7 +162,7 @@ int cmd_trace(const core::NetworkSpec& spec, std::size_t batch, const std::strin
 }
 
 int cmd_serve(const core::NetworkSpec& spec, std::size_t requests, double rate_rps,
-              std::size_t replicas, bool metrics) {
+              std::size_t replicas, bool metrics, std::uint64_t seed) {
   serve::ServeConfig config;
   config.replicas = replicas;
   config.queue_capacity = 64;
@@ -171,7 +183,7 @@ int cmd_serve(const core::NetworkSpec& spec, std::size_t requests, double rate_r
   load_spec.arrivals = serve::ArrivalProcess::kPoisson;
   load_spec.rate_images_per_second = rate_rps;
   load_spec.request_count = requests;
-  load_spec.seed = 7;
+  load_spec.seed = seed;
 
   dfc::MetricsRegistry registry;
   if (metrics) config.metrics = &registry;
@@ -187,6 +199,27 @@ int cmd_serve(const core::NetworkSpec& spec, std::size_t requests, double rate_r
               config.queue_capacity);
   std::printf("%s", report.stats.render().c_str());
   if (metrics) std::printf("\n%s", registry.expose_text().c_str());
+  return 0;
+}
+
+int cmd_faults(const core::NetworkSpec& spec, const fault::CampaignConfig& config,
+               const std::string& out_path) {
+  const fault::CampaignResult result = fault::run_campaign(spec, config);
+  std::printf("fault campaign on %s: %zu trials, seed %llu, batch %zu, detection %s\n\n",
+              result.design.c_str(), config.trials,
+              static_cast<unsigned long long>(config.seed), config.batch,
+              config.detection ? "on" : "off");
+  std::printf("%s", result.summary_table().c_str());
+  std::printf("%s\n", result.classification_line().c_str());
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    DFC_REQUIRE(out.good(), "cannot open '" + out_path + "' for writing");
+    out << result.csv();
+    out.flush();
+    DFC_REQUIRE(out.good(), "failed writing campaign CSV to '" + out_path + "'");
+    std::fprintf(stderr, "wrote %zu trial rows to %s\n", result.trials.size(),
+                 out_path.c_str());
+  }
   return 0;
 }
 
@@ -252,18 +285,45 @@ int main(int argc, char** argv) {
     }
     if (cmd == "serve") {
       bool metrics = false;
+      std::uint64_t seed = 7;
+      double flag_rate = -1.0;
       std::vector<std::string> positional;
       for (int i = 3; i < argc; ++i) {
         if (std::strcmp(argv[i], "--metrics") == 0) {
           metrics = true;
+        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+          seed = std::stoull(argv[++i]);
+        } else if (std::strcmp(argv[i], "--rate") == 0 && i + 1 < argc) {
+          flag_rate = std::stod(argv[++i]);
         } else {
           positional.emplace_back(argv[i]);
         }
       }
       const std::size_t requests = positional.size() > 0 ? std::stoul(positional[0]) : 2000;
-      const double rate = positional.size() > 1 ? std::stod(positional[1]) : 0.0;
+      double rate = positional.size() > 1 ? std::stod(positional[1]) : 0.0;
+      if (flag_rate >= 0.0) rate = flag_rate;
       const std::size_t replicas = positional.size() > 2 ? std::stoul(positional[2]) : 2;
-      return cmd_serve(load_design(design), requests, rate, replicas, metrics);
+      return cmd_serve(load_design(design), requests, rate, replicas, metrics, seed);
+    }
+    if (cmd == "faults") {
+      fault::CampaignConfig config;
+      std::string out_path;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+          config.seed = std::stoull(argv[++i]);
+        } else if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
+          config.trials = std::stoul(argv[++i]);
+        } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+          config.batch = std::stoul(argv[++i]);
+        } else if (std::strcmp(argv[i], "--no-detect") == 0) {
+          config.detection = false;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+          out_path = argv[++i];
+        } else {
+          return usage();
+        }
+      }
+      return cmd_faults(load_design(design), config, out_path);
     }
     if (cmd == "dse") return cmd_dse(design, argc > 3 ? argv[3] : "");
     if (cmd == "partition") {

@@ -14,6 +14,7 @@
 //   * dynamic batching sustains a higher rate than batch=1 at high load —
 //     the Fig. 6 amortization exploited online;
 //   * batch=1 pays less latency at light load (no wait for peers).
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "common/table.hpp"
 #include "core/harness.hpp"
 #include "core/presets.hpp"
+#include "core/schedule.hpp"
 #include "report/sweep_runner.hpp"
 #include "serve/load_generator.hpp"
 #include "serve/replica_pool.hpp"
@@ -36,12 +38,30 @@ int main() {
   constexpr std::size_t kMaxBatch = 16;
 
   // One warmed service table serves every scenario: entry n-1 is the exact
-  // cycle cost of a size-n batch, measured on the replica harnesses in
-  // parallel.
-  serve::ReplicaPool pool(spec, kReplicas);
+  // cycle cost of a size-n batch. Warming is where the serve bench spends
+  // its simulation time, so it runs on the compiled-schedule fast path —
+  // after checking, once, that the fast path reproduces the cycle engine's
+  // table exactly.
+  core::BuildOptions compiled_options;
+  compiled_options.execution_mode = core::ExecutionMode::kCompiledSchedule;
+  core::clear_schedule_cache();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  serve::ReplicaPool cycle_pool(spec, kReplicas);
+  cycle_pool.warm(kMaxBatch);
+  const auto t1 = std::chrono::steady_clock::now();
+  serve::ReplicaPool pool(spec, kReplicas, compiled_options);
   pool.warm(kMaxBatch);
+  const auto t2 = std::chrono::steady_clock::now();
+  const double warm_cycle_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  const double warm_compiled_ms = std::chrono::duration<double, std::milli>(t2 - t1).count();
+
   std::vector<std::uint64_t> table;
-  for (std::size_t n = 1; n <= kMaxBatch; ++n) table.push_back(pool.service_cycles(n));
+  bool tables_identical = true;
+  for (std::size_t n = 1; n <= kMaxBatch; ++n) {
+    table.push_back(pool.service_cycles(n));
+    tables_identical = tables_identical && table.back() == cycle_pool.service_cycles(n);
+  }
 
   // Nominal capacity: every replica serving back-to-back full batches.
   const double batch16_rps =
@@ -144,5 +164,33 @@ int main() {
               batch1_over.shed_requests > dyn16_over.shed_requests ? "yes" : "NO",
               static_cast<unsigned long long>(batch1_over.shed_requests),
               static_cast<unsigned long long>(dyn16_over.shed_requests));
-  return 0;
+  std::printf("  service table identical on both engines: %s\n",
+              tables_identical ? "yes" : "NO");
+  std::printf("  warm wall clock: cycle engine %.0f ms, compiled %.0f ms (%.1fx)\n",
+              warm_cycle_ms, warm_compiled_ms, warm_cycle_ms / warm_compiled_ms);
+
+  // Machine-readable summary for the CI regression gate: deterministic
+  // metrics (service cycles, sustained rates) plus the wall-clock cost of
+  // warming on each engine.
+  if (std::FILE* json = std::fopen("BENCH_serve.json", "w")) {
+    std::fprintf(json,
+                 "{\n  \"design\": \"%s\",\n  \"replicas\": %zu,\n"
+                 "  \"batch16_service_cycles\": %llu,\n"
+                 "  \"capacity_rps\": %.1f,\n"
+                 "  \"sustained_rps_dyn16_overload\": %.1f,\n"
+                 "  \"sustained_rps_batch1_overload\": %.1f,\n"
+                 "  \"warm_cycle_engine_wall_ms\": %.1f,\n"
+                 "  \"warm_compiled_wall_ms\": %.1f,\n  \"warm_speedup\": %.2f,\n"
+                 "  \"tables_identical\": %s\n}\n",
+                 spec.name.c_str(), kReplicas,
+                 static_cast<unsigned long long>(table[kMaxBatch - 1]), capacity_rps,
+                 dyn16_over.sustained_rps, batch1_over.sustained_rps, warm_cycle_ms,
+                 warm_compiled_ms, warm_cycle_ms / warm_compiled_ms,
+                 tables_identical ? "true" : "false");
+    std::fclose(json);
+  } else {
+    std::fprintf(stderr, "cannot open BENCH_serve.json\n");
+    return 1;
+  }
+  return tables_identical ? 0 : 1;
 }

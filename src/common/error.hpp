@@ -36,6 +36,23 @@ class SimError : public Error {
   explicit SimError(const std::string& what) : Error("simulation error: " + what) {}
 };
 
+/// run_until exhausted its cycle budget before the predicate was satisfied.
+/// A SimError subclass so existing catch sites keep working; harnesses catch
+/// it specifically to return a structured partial result (RunStatus::kTimeout)
+/// instead of aborting a whole fault campaign or DSE loop.
+class TimeoutError : public SimError {
+ public:
+  explicit TimeoutError(const std::string& what) : SimError(what) {}
+};
+
+/// The idle watchdog declared a deadlock/livelock (no FIFO transferred for
+/// idle_limit cycles with the run_until predicate unsatisfied). Also a
+/// SimError subclass; harnesses map it to RunStatus::kDeadlock.
+class DeadlockError : public SimError {
+ public:
+  explicit DeadlockError(const std::string& what) : SimError(what) {}
+};
+
 /// Admission rejected because the system is saturated (serve request queue
 /// full). Deliberately distinct from ConfigError: the request was valid, the
 /// service just cannot take it right now — callers may retry or downgrade.

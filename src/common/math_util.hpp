@@ -11,12 +11,14 @@
 
 namespace dfc {
 
-/// Ceiling division for non-negative integers.
+/// Ceiling division for non-negative integers (a >= 0, b > 0, enforced).
 constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  DFC_REQUIRE(a >= 0, "ceil_div needs a non-negative numerator");
+  DFC_REQUIRE(b > 0, "ceil_div needs a positive divisor");
   return (a + b - 1) / b;
 }
 
-/// Rounds `a` up to the next multiple of `b` (b > 0).
+/// Rounds `a` up to the next multiple of `b` (a >= 0, b > 0, enforced).
 constexpr std::int64_t round_up(std::int64_t a, std::int64_t b) {
   return ceil_div(a, b) * b;
 }
@@ -24,8 +26,10 @@ constexpr std::int64_t round_up(std::int64_t a, std::int64_t b) {
 /// True if `x` is a power of two (x > 0).
 constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
 
-/// ceil(log2(x)) for x >= 1.
+/// ceil(log2(x)) for x >= 1 (enforced: ceil_log2(0) has no defined value and
+/// previously returned 0, silently aliasing the x == 1 answer).
 constexpr int ceil_log2(std::uint64_t x) {
+  DFC_REQUIRE(x >= 1, "ceil_log2 needs x >= 1");
   int bits = 0;
   std::uint64_t v = 1;
   while (v < x) {

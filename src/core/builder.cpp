@@ -89,6 +89,7 @@ Accelerator build_accelerator(const NetworkSpec& spec, const BuildOptions& optio
 
   Accelerator acc;
   acc.spec = spec;
+  acc.options = options;
   acc.ctx = std::make_unique<SimContext>();
   SimContext& ctx = *acc.ctx;
 

@@ -16,6 +16,19 @@
 
 namespace dfc::core {
 
+/// How the harness executes a batch (DESIGN.md §10).
+///
+///  * kCycleAccurate: the two-phase process-stepping engine — the ground
+///    truth, required whenever something watches or perturbs the simulation.
+///  * kCompiledSchedule: lower the design's static schedule once (fill-phase
+///    prefix + repeating steady interval, measured on the cycle engine) and
+///    replay batches against it: completion cycles come from the schedule,
+///    logits from the bit-exact functional model. Falls back to
+///    kCycleAccurate automatically when a fault hook, trace sink, stall
+///    accounting, integrity guards, the stream guard or paranoid mode is
+///    active — those need real per-cycle state.
+enum class ExecutionMode { kCycleAccurate, kCompiledSchedule };
+
 struct BuildOptions {
   std::size_t stream_fifo_capacity = 8;  ///< inter-module value channels
   std::size_t window_fifo_capacity = 4;  ///< memory structure -> compute core
@@ -32,6 +45,11 @@ struct BuildOptions {
   /// with the first/last layer's device.
   std::vector<std::size_t> layer_device;
   LinkModel link{};
+
+  /// Execution engine the harness selects for run_batch/run_sequential.
+  /// The built design is identical either way; this only chooses how batches
+  /// are executed (see ExecutionMode).
+  ExecutionMode execution_mode = ExecutionMode::kCycleAccurate;
 };
 
 /// A built accelerator. The SimContext owns all processes and FIFOs; the raw
@@ -39,6 +57,7 @@ struct BuildOptions {
 struct Accelerator {
   std::unique_ptr<dfc::df::SimContext> ctx;
   NetworkSpec spec;
+  BuildOptions options;  ///< the options this design was built with
 
   std::unique_ptr<DmaBus> bus;  ///< shared DMA arbiter (null in private mode)
   DmaSource* source = nullptr;

@@ -150,6 +150,9 @@ class DmaSink final : public dfc::df::Process {
     guard_enabled_ = on;
     guard_bound_ = range_bound;
   }
+  /// True while the guard is armed — another "being watched" marker the
+  /// compiled-schedule fast path checks before skipping cycle-level stepping.
+  bool stream_guard_enabled() const { return guard_enabled_; }
   std::uint64_t guard_framing_errors() const { return guard_framing_errors_; }
   std::uint64_t guard_range_errors() const { return guard_range_errors_; }
   /// Cycle of the first guard violation (kNoError while clean).

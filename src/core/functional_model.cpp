@@ -1,0 +1,319 @@
+#include "core/functional_model.hpp"
+
+#include <cstring>
+#include <map>
+#include <variant>
+
+#include "common/error.hpp"
+#include "hlscore/activation.hpp"
+#include "hlscore/tree_reduce.hpp"
+
+namespace dfc::core {
+
+using dfc::hls::apply_activation;
+using dfc::hls::tree_reduce_inplace;
+
+namespace {
+
+// Bounded memo: enough for every sweep/serve/test image set in the repo;
+// when a workload exceeds it the memo resets rather than growing without
+// bound (replays degrade to recomputation, results are unchanged).
+constexpr std::size_t kMemoCapacity = 1024;
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void append_bytes(std::string& out, const void* data, std::size_t bytes) {
+  out.append(static_cast<const char*>(data), bytes);
+}
+
+template <typename T>
+void append_pod(std::string& out, const T& v) {
+  append_bytes(out, &v, sizeof(v));
+}
+
+// Full-content fingerprint of a design: structure AND parameters. Unlike the
+// schedule cache key (timing only), two designs share a functional model only
+// if every weight bit matches.
+std::string content_key(const NetworkSpec& spec) {
+  std::string key;
+  append_pod(key, spec.input_shape);
+  for (const LayerSpec& layer : spec.layers) {
+    if (const auto* conv = std::get_if<ConvLayerSpec>(&layer)) {
+      append_pod(key, 'c');
+      append_pod(key, conv->in_shape);
+      append_pod(key, conv->out_fm);
+      append_pod(key, conv->kh);
+      append_pod(key, conv->kw);
+      append_pod(key, conv->stride);
+      append_pod(key, conv->pad);
+      append_pod(key, conv->in_ports);
+      append_pod(key, conv->act);
+      append_bytes(key, conv->weights.data(), conv->weights.size() * sizeof(float));
+      append_bytes(key, conv->biases.data(), conv->biases.size() * sizeof(float));
+    } else if (const auto* pool = std::get_if<PoolLayerSpec>(&layer)) {
+      append_pod(key, 'p');
+      append_pod(key, pool->in_shape);
+      append_pod(key, pool->mode);
+      append_pod(key, pool->kh);
+      append_pod(key, pool->kw);
+      append_pod(key, pool->stride);
+    } else {
+      const auto& fcn = std::get<FcnLayerSpec>(layer);
+      append_pod(key, 'f');
+      append_pod(key, fcn.in_count);
+      append_pod(key, fcn.out_count);
+      append_pod(key, fcn.act);
+      append_pod(key, fcn.num_accumulators);
+      append_bytes(key, fcn.weights.data(), fcn.weights.size() * sizeof(float));
+      append_bytes(key, fcn.biases.data(), fcn.biases.size() * sizeof(float));
+    }
+  }
+  return key;
+}
+
+// Owns the spec copy a cached model evaluates against.
+struct ModelHolder {
+  explicit ModelHolder(const NetworkSpec& s) : spec(s), model(spec) {}
+  NetworkSpec spec;
+  FunctionalModel model;
+};
+
+std::mutex g_model_cache_mutex;
+
+std::map<std::string, std::shared_ptr<ModelHolder>>& model_cache() {
+  static std::map<std::string, std::shared_ptr<ModelHolder>> cache;
+  return cache;
+}
+
+}  // namespace
+
+FunctionalModel::FunctionalModel(const NetworkSpec& spec) : spec_(&spec) {
+  spec.validate();
+}
+
+Tensor FunctionalModel::eval_conv(const ConvLayerSpec& conv, const Tensor& in) const {
+  const Shape3 is = conv.in_shape;
+  DFC_CHECK(in.shape() == is, "conv input shape mismatch");
+  const Shape3 os = conv.out_shape();
+  Tensor out(os);
+
+  const std::int64_t taps = static_cast<std::int64_t>(conv.kh) * conv.kw;
+  const std::int64_t groups = is.c / conv.in_ports;
+  std::vector<float> products(static_cast<std::size_t>(conv.in_ports * taps));
+  const float* in_data = in.flat().data();
+  float* out_data = out.flat().data();
+
+  // Same association order as ConvCore::try_gather: per gather beat g, port p
+  // carries input channel g*IN_PORTS + p; the beat's IN_PORTS*taps products
+  // are tree-reduced and accumulated onto the bias-seeded partial sum. Input
+  // reads go through raw channel-major pointers ((c*H + y)*W + x) — the
+  // assert-checked Tensor::at on this innermost loop dominates the whole
+  // fast-path runtime.
+  for (std::int64_t oyi = 0; oyi < os.h; ++oyi) {
+    const std::int64_t oy = -conv.pad + oyi * conv.stride;
+    for (std::int64_t oxi = 0; oxi < os.w; ++oxi) {
+      const std::int64_t ox = -conv.pad + oxi * conv.stride;
+      // The presets are unpadded, so the window is almost always interior;
+      // the edge variant only differs in substituting 0 for outside taps.
+      const bool interior =
+          oy >= 0 && oy + conv.kh <= is.h && ox >= 0 && ox + conv.kw <= is.w;
+      for (std::int64_t k = 0; k < conv.out_fm; ++k) {
+        float acc = conv.biases[static_cast<std::size_t>(k)];
+        for (std::int64_t g = 0; g < groups; ++g) {
+          std::size_t n = 0;
+          for (int p = 0; p < conv.in_ports; ++p) {
+            const std::int64_t c = g * conv.in_ports + p;
+            const float* wrow =
+                &conv.weights[static_cast<std::size_t>((k * is.c + c) * taps)];
+            if (interior) {
+              const float* chan = in_data + (c * is.h + oy) * is.w + ox;
+              for (int dy = 0; dy < conv.kh; ++dy) {
+                const float* row = chan + static_cast<std::int64_t>(dy) * is.w;
+                const float* wtap = wrow + static_cast<std::int64_t>(dy) * conv.kw;
+                for (int dx = 0; dx < conv.kw; ++dx) {
+                  products[n++] = wtap[dx] * row[dx];
+                }
+              }
+            } else {
+              for (int dy = 0; dy < conv.kh; ++dy) {
+                const std::int64_t y = oy + dy;
+                for (int dx = 0; dx < conv.kw; ++dx) {
+                  const std::int64_t x = ox + dx;
+                  const bool inside = y >= 0 && y < is.h && x >= 0 && x < is.w;
+                  const float v =
+                      inside ? in_data[(c * is.h + y) * is.w + x] : 0.0f;
+                  products[n++] = wrow[dy * conv.kw + dx] * v;
+                }
+              }
+            }
+          }
+          acc += tree_reduce_inplace(std::span<float>(products.data(), n));
+        }
+        out_data[(k * os.h + oyi) * os.w + oxi] = apply_activation(conv.act, acc);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor FunctionalModel::eval_pool(const PoolLayerSpec& pool, const Tensor& in) const {
+  const Shape3 is = pool.in_shape;
+  DFC_CHECK(in.shape() == is, "pool input shape mismatch");
+  const Shape3 os = pool.out_shape();
+  Tensor out(os);
+
+  const int count = pool.kh * pool.kw;
+  const float* in_data = in.flat().data();
+  float* out_data = out.flat().data();
+  // PoolCore folds the window taps in row-major (dy, dx) order: sequential
+  // max, or a sequential sum divided by the tap count.
+  for (std::int64_t c = 0; c < is.c; ++c) {
+    for (std::int64_t oyi = 0; oyi < os.h; ++oyi) {
+      const std::int64_t oy = oyi * pool.stride;
+      for (std::int64_t oxi = 0; oxi < os.w; ++oxi) {
+        const std::int64_t ox = oxi * pool.stride;
+        const float* win = in_data + (c * is.h + oy) * is.w + ox;
+        float value = 0.0f;
+        if (pool.mode == PoolMode::kMax) {
+          value = win[0];
+          for (int t = 1; t < count; ++t) {
+            value = std::max(value, win[(t / pool.kw) * is.w + t % pool.kw]);
+          }
+        } else {
+          float sum = 0.0f;
+          for (int t = 0; t < count; ++t) {
+            sum += win[(t / pool.kw) * is.w + t % pool.kw];
+          }
+          value = sum / static_cast<float>(count);
+        }
+        out_data[(c * os.h + oyi) * os.w + oxi] = value;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor FunctionalModel::eval_fcn(const FcnLayerSpec& fcn, const Tensor& in) const {
+  const Shape3 is = in.shape();
+  DFC_CHECK(is.volume() == fcn.in_count, "fcn input size mismatch");
+  Tensor out(Shape3{fcn.out_count, 1, 1});
+
+  const int lanes = fcn.num_accumulators;
+  std::vector<float> acc(static_cast<std::size_t>(lanes));
+  const float* in_data = in.flat().data();
+  const std::int64_t chan_stride = is.h * is.w;
+  // FcnCore consumes the single merged stream, pixel-major with channels
+  // interleaved (spec weights are already permuted to that order), and
+  // spreads input i onto accumulator lane i % num_accumulators; lane 0 is
+  // seeded with the bias and the lanes drain through the tree adder.
+  for (std::int64_t j = 0; j < fcn.out_count; ++j) {
+    acc[0] = fcn.biases[static_cast<std::size_t>(j)];
+    for (int l = 1; l < lanes; ++l) acc[static_cast<std::size_t>(l)] = 0.0f;
+    const float* wrow = &fcn.weights[static_cast<std::size_t>(j * fcn.in_count)];
+    std::int64_t i = 0;
+    int lane = 0;
+    for (std::int64_t y = 0; y < is.h; ++y) {
+      for (std::int64_t x = 0; x < is.w; ++x) {
+        const float* pixel = in_data + y * is.w + x;
+        for (std::int64_t c = 0; c < is.c; ++c) {
+          acc[static_cast<std::size_t>(lane)] += wrow[i] * pixel[c * chan_stride];
+          ++i;
+          if (++lane == lanes) lane = 0;
+        }
+      }
+    }
+    out[j] = apply_activation(fcn.act, tree_reduce_inplace(std::span<float>(acc)));
+  }
+  return out;
+}
+
+std::vector<float> FunctionalModel::infer_uncached(const Tensor& image) const {
+  Tensor cur = image;
+  for (const LayerSpec& layer : spec_->layers) {
+    if (const auto* conv = std::get_if<ConvLayerSpec>(&layer)) {
+      cur = eval_conv(*conv, cur);
+    } else if (const auto* pool = std::get_if<PoolLayerSpec>(&layer)) {
+      cur = eval_pool(*pool, cur);
+    } else {
+      cur = eval_fcn(std::get<FcnLayerSpec>(layer), cur);
+    }
+  }
+
+  // DMA sink order: the output volume streams pixel-major with channels
+  // interleaved (a {c,1,1} FCN tail degenerates to the plain logit vector).
+  const Shape3 os = cur.shape();
+  std::vector<float> words;
+  words.reserve(static_cast<std::size_t>(os.volume()));
+  for (std::int64_t y = 0; y < os.h; ++y) {
+    for (std::int64_t x = 0; x < os.w; ++x) {
+      for (std::int64_t c = 0; c < os.c; ++c) words.push_back(cur.at(c, y, x));
+    }
+  }
+  return words;
+}
+
+std::vector<float> FunctionalModel::infer(const Tensor& image) const {
+  DFC_REQUIRE(image.shape() == spec_->input_shape,
+              "image shape " + image.shape().str() + " does not match spec input " +
+                  spec_->input_shape.str());
+  const std::span<const float> flat = image.flat();
+  const std::size_t bytes = flat.size() * sizeof(float);
+  const std::uint64_t hash = fnv1a(flat.data(), bytes);
+  {
+    std::lock_guard<std::mutex> lock(memo_mutex_);
+    auto bucket = memo_.find(hash);
+    if (bucket != memo_.end()) {
+      for (const MemoEntry& e : bucket->second) {
+        // Bitwise compare — a hash collision must recompute, not alias.
+        if (e.image.size() == flat.size() &&
+            std::memcmp(e.image.data(), flat.data(), bytes) == 0) {
+          return e.logits;
+        }
+      }
+    }
+  }
+
+  std::vector<float> logits = infer_uncached(image);
+
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  if (memo_entries_ >= kMemoCapacity) {
+    memo_.clear();
+    memo_entries_ = 0;
+  }
+  memo_[hash].push_back(MemoEntry{{flat.begin(), flat.end()}, logits});
+  ++memo_entries_;
+  return logits;
+}
+
+std::size_t FunctionalModel::memo_size() const {
+  std::lock_guard<std::mutex> lock(memo_mutex_);
+  return memo_entries_;
+}
+
+std::shared_ptr<const FunctionalModel> shared_functional_model(const NetworkSpec& spec) {
+  std::string key = content_key(spec);
+  std::lock_guard<std::mutex> lock(g_model_cache_mutex);
+  auto& cache = model_cache();
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(std::move(key), std::make_shared<ModelHolder>(spec)).first;
+  }
+  // Aliasing shared_ptr: keeps the holder (and its spec copy) alive for as
+  // long as any harness points at the model.
+  return std::shared_ptr<const FunctionalModel>(it->second, &it->second->model);
+}
+
+void clear_functional_model_cache() {
+  std::lock_guard<std::mutex> lock(g_model_cache_mutex);
+  model_cache().clear();
+}
+
+}  // namespace dfc::core

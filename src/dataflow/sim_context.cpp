@@ -204,8 +204,8 @@ std::uint64_t SimContext::fast_forward(std::uint64_t limit_cycle) {
 }
 
 void SimContext::throw_deadlock() const {
-  throw SimError("deadlock: no FIFO activity for " + std::to_string(idle_cycles_) +
-                 " cycles at cycle " + std::to_string(cycle_) + "\n" + fifo_report());
+  throw DeadlockError("deadlock: no FIFO activity for " + std::to_string(idle_cycles_) +
+                      " cycles at cycle " + std::to_string(cycle_) + "\n" + fifo_report());
 }
 
 std::uint64_t SimContext::run_until(const std::function<bool()>& finished,
@@ -216,8 +216,8 @@ std::uint64_t SimContext::run_until(const std::function<bool()>& finished,
       max_cycles > Process::kNeverWake - start ? Process::kNeverWake : start + max_cycles;
   while (!finished()) {
     if (cycle_ - start >= max_cycles) {
-      throw SimError("run_until exceeded " + std::to_string(max_cycles) +
-                     " cycles\n" + fifo_report());
+      throw TimeoutError("run_until exceeded " + std::to_string(max_cycles) +
+                         " cycles\n" + fifo_report());
     }
     step();
     if (idle_cycles_ > idle_limit_) throw_deadlock();
@@ -311,10 +311,12 @@ FifoBase* SimContext::find_fifo(const std::string& name) {
 
 void SimContext::enable_integrity_guards(FaultListener* listener, float range_bound) {
   for (auto& f : fifos_) f->enable_integrity_guard(listener, range_bound);
+  integrity_guards_ = true;
 }
 
 void SimContext::disable_integrity_guards() {
   for (auto& f : fifos_) f->disable_integrity_guard();
+  integrity_guards_ = false;
 }
 
 std::string SimContext::fifo_report() const {

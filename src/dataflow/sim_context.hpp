@@ -173,6 +173,11 @@ class SimContext {
   void enable_integrity_guards(FaultListener* listener, float range_bound);
   void disable_integrity_guards();
 
+  /// True while FIFO integrity guards are armed. Like cycle_hook() and
+  /// observing(), this marks the context as "being watched": the compiled-
+  /// schedule fast path consults it and falls back to cycle-level stepping.
+  bool integrity_guards_active() const { return integrity_guards_; }
+
   /// Cycles stepped while observing (since construction/reset). Per-core
   /// activity buckets sum to exactly this value.
   std::uint64_t observed_cycles() const { return observed_cycles_; }
@@ -221,6 +226,7 @@ class SimContext {
 
   obs::TraceSink* trace_ = nullptr;     ///< non-owning; null = tracing off
   bool stall_accounting_ = false;
+  bool integrity_guards_ = false;
   std::uint64_t observed_cycles_ = 0;
   CycleHook* cycle_hook_ = nullptr;     ///< non-owning; null = no injection
 };

@@ -117,11 +117,18 @@ CampaignResult run_campaign(const core::NetworkSpec& spec, const CampaignConfig&
     std::vector<std::vector<float>> outputs;
     try {
       const core::BatchResult r = harness.run_batch(images, result.hang_budget);
+      // Timeouts and deadlocks now come back as a classified partial result
+      // (RunStatus) instead of an exception; total_cycles() of a partial run
+      // is the cycles burnt up to the watchdog abort.
       tr.run_cycles = r.total_cycles();
-      outputs = r.outputs;
+      if (r.ok()) {
+        outputs = r.outputs;
+      } else {
+        aborted = true;
+      }
     } catch (const dfc::Error&) {
-      // Cycle-budget watchdog, deadlock dump or a stream-protocol assertion:
-      // the faulted run never delivered a complete batch.
+      // Stream-protocol assertions (integrity/framing guards tripping inside
+      // the simulation) still abort by throwing.
       aborted = true;
       tr.run_cycles = acc.ctx->cycle();
     }

@@ -38,8 +38,9 @@ std::vector<std::uint64_t> image_latencies(const BatchResult& r) {
 
 PerformanceMetrics measure_performance(const NetworkSpec& spec, std::size_t batch,
                                        std::uint64_t seed, const dfc::hw::CostModel& cost,
-                                       const dfc::hw::PowerModel& power) {
-  AcceleratorHarness harness(dfc::core::build_accelerator(spec));
+                                       const dfc::hw::PowerModel& power,
+                                       const dfc::core::BuildOptions& options) {
+  AcceleratorHarness harness(dfc::core::build_accelerator(spec, options));
   const auto images = random_images(spec, batch, seed);
   const BatchResult r = harness.run_batch(images);
 
@@ -70,7 +71,8 @@ PerformanceMetrics measure_performance(const NetworkSpec& spec, std::size_t batc
 namespace {
 std::vector<BatchPoint> sweep_impl(const NetworkSpec& spec,
                                    const std::vector<std::size_t>& batches,
-                                   std::uint64_t seed, bool sequential) {
+                                   std::uint64_t seed, bool sequential,
+                                   const dfc::core::BuildOptions& options) {
   std::size_t max_batch = 0;
   for (std::size_t b : batches) max_batch = std::max(max_batch, b);
   const auto images = random_images(spec, max_batch, seed);
@@ -80,8 +82,8 @@ std::vector<BatchPoint> sweep_impl(const NetworkSpec& spec,
   std::vector<std::function<BatchPoint()>> jobs;
   jobs.reserve(batches.size());
   for (std::size_t b : batches) {
-    jobs.push_back([&spec, &images, b, sequential] {
-      AcceleratorHarness harness(dfc::core::build_accelerator(spec));
+    jobs.push_back([&spec, &images, &options, b, sequential] {
+      AcceleratorHarness harness(dfc::core::build_accelerator(spec, options));
       const std::vector<Tensor> slice(images.begin(),
                                       images.begin() + static_cast<std::ptrdiff_t>(b));
       const BatchResult r =
@@ -99,14 +101,16 @@ std::vector<BatchPoint> sweep_impl(const NetworkSpec& spec,
 
 std::vector<BatchPoint> batch_sweep(const NetworkSpec& spec,
                                     const std::vector<std::size_t>& batches,
-                                    std::uint64_t seed) {
-  return sweep_impl(spec, batches, seed, false);
+                                    std::uint64_t seed,
+                                    const dfc::core::BuildOptions& options) {
+  return sweep_impl(spec, batches, seed, false, options);
 }
 
 std::vector<BatchPoint> batch_sweep_sequential(const NetworkSpec& spec,
                                                const std::vector<std::size_t>& batches,
-                                               std::uint64_t seed) {
-  return sweep_impl(spec, batches, seed, true);
+                                               std::uint64_t seed,
+                                               const dfc::core::BuildOptions& options) {
+  return sweep_impl(spec, batches, seed, true, options);
 }
 
 std::vector<StageUtilization> pipeline_profile(const dfc::core::Accelerator& acc,

@@ -41,11 +41,15 @@ struct PerformanceMetrics {
   double p99_latency_us = 0.0;
 };
 
-/// Runs a pipelined batch and derives all Table II metrics.
+/// Runs a pipelined batch and derives all Table II metrics. `options`
+/// selects the engine: the default cycle-accurate scheduler, or
+/// ExecutionMode::kCompiledSchedule for the fast path (identical numbers,
+/// see tests/test_schedule.cpp).
 PerformanceMetrics measure_performance(const dfc::core::NetworkSpec& spec, std::size_t batch,
                                        std::uint64_t seed = 7,
                                        const dfc::hw::CostModel& cost = {},
-                                       const dfc::hw::PowerModel& power = {});
+                                       const dfc::hw::PowerModel& power = {},
+                                       const dfc::core::BuildOptions& options = {});
 
 struct BatchPoint {
   std::size_t batch = 0;
@@ -55,15 +59,19 @@ struct BatchPoint {
   double p99_latency_us = 0.0;  ///< tail latency — what batching trades away
 };
 
-/// Fig. 6 sweep: mean time per image for each batch size.
+/// Fig. 6 sweep: mean time per image for each batch size. Every point builds
+/// its accelerator with `options`, so a compiled-schedule sweep pays one
+/// calibration (shared via the schedule cache) and replays the rest.
 std::vector<BatchPoint> batch_sweep(const dfc::core::NetworkSpec& spec,
                                     const std::vector<std::size_t>& batches,
-                                    std::uint64_t seed = 7);
+                                    std::uint64_t seed = 7,
+                                    const dfc::core::BuildOptions& options = {});
 
 /// Sequential (non-pipelined) counterpart for the A1 ablation.
 std::vector<BatchPoint> batch_sweep_sequential(const dfc::core::NetworkSpec& spec,
                                                const std::vector<std::size_t>& batches,
-                                               std::uint64_t seed = 7);
+                                               std::uint64_t seed = 7,
+                                               const dfc::core::BuildOptions& options = {});
 
 /// Per-core busy fraction over `elapsed_cycles` — the pipeline balance the
 /// paper describes as "at steady state, all the different layers of the

@@ -149,11 +149,26 @@ TEST(MathTest, CeilDiv) {
   EXPECT_EQ(ceil_div(9, 3), 3);
   EXPECT_EQ(ceil_div(1, 5), 1);
   EXPECT_EQ(ceil_div(0, 5), 0);
+  // Valid arguments stay usable in constant expressions despite the guards.
+  static_assert(ceil_div(10, 3) == 4);
+  static_assert(ceil_div(0, 1) == 0);
+}
+
+TEST(MathTest, CeilDivRejectsDegenerateArguments) {
+  // A zero divisor used to be UB (integer division by zero) and a negative
+  // numerator silently floored; both now fail loudly at the config layer.
+  EXPECT_THROW(ceil_div(10, 0), ConfigError);
+  EXPECT_THROW(ceil_div(10, -3), ConfigError);
+  EXPECT_THROW(ceil_div(-1, 3), ConfigError);
 }
 
 TEST(MathTest, RoundUp) {
   EXPECT_EQ(round_up(10, 4), 12);
   EXPECT_EQ(round_up(8, 4), 8);
+  EXPECT_EQ(round_up(0, 4), 0);
+  static_assert(round_up(10, 4) == 12);
+  EXPECT_THROW(round_up(10, 0), ConfigError);
+  EXPECT_THROW(round_up(-4, 4), ConfigError);
 }
 
 TEST(MathTest, IsPow2) {
@@ -168,6 +183,11 @@ TEST(MathTest, CeilLog2) {
   EXPECT_EQ(ceil_log2(2), 1);
   EXPECT_EQ(ceil_log2(3), 2);
   EXPECT_EQ(ceil_log2(25), 5);
+  EXPECT_EQ(ceil_log2(std::uint64_t{1} << 63), 63);
+  static_assert(ceil_log2(16) == 4);
+  // ceil_log2(0) has no defined value; it used to return 0, aliasing the
+  // x == 1 answer (and sizing address widths one bit too small downstream).
+  EXPECT_THROW(ceil_log2(0), ConfigError);
 }
 
 TEST(MathTest, AlmostEqual) {

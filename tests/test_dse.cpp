@@ -4,6 +4,7 @@
 #include "core/builder.hpp"
 #include "core/harness.hpp"
 #include "core/presets.hpp"
+#include "core/schedule.hpp"
 #include "dse/explorer.hpp"
 #include "dse/throughput_model.hpp"
 #include "report/experiments.hpp"
@@ -43,6 +44,23 @@ TEST(TimingModelTest, PredictsSimulatedSteadyInterval) {
     const double measured = static_cast<double>(r.steady_interval_cycles());
     const double predicted = static_cast<double>(est.interval_cycles);
     EXPECT_NEAR(measured, predicted, 0.1 * predicted) << spec.name;
+  }
+}
+
+TEST(TimingModelTest, AgreesWithCompiledSchedule) {
+  // Triangle check of the three throughput views: the analytical model's
+  // interval must sit within 10% of the compiled schedule's exact steady
+  // interval (which tests/test_schedule.cpp pins cycle-identical to the
+  // engine) — so model, schedule, and simulator can never drift apart
+  // pairwise without a test noticing.
+  for (const auto& spec : {dfc::core::make_usps_spec(), dfc::core::make_cifar_spec()}) {
+    const TimingEstimate est = estimate_timing(spec);
+    dfc::core::BuildOptions options;
+    options.execution_mode = dfc::core::ExecutionMode::kCompiledSchedule;
+    const dfc::core::CompiledSchedule sched =
+        dfc::core::compile_schedule(spec, options, dfc::core::ScheduleMode::kBatch);
+    const double predicted = static_cast<double>(est.interval_cycles);
+    EXPECT_NEAR(sched.steady_interval(), predicted, 0.1 * predicted) << spec.name;
   }
 }
 

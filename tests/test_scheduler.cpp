@@ -218,22 +218,37 @@ TEST(FastForwardTest, DeadlockFiresAtSameCycleAsNaive) {
 
 TEST(BatchResultTest, SteadyIntervalIsMedianOfTrailingIntervals) {
   BatchResult r;
-  // Intervals: 100, 100, 160 (one hiccup at the end).
-  r.completion_cycles = {1000, 1100, 1200, 1360};
-  r.outputs.resize(4);
-  EXPECT_EQ(r.completion_intervals(), (std::vector<std::uint64_t>{100, 100, 160}));
-  EXPECT_EQ(r.steady_interval_cycles(), 100u);  // median rejects the hiccup
+  // Intervals: 100 x4, then one 160 hiccup. The window holds the trailing
+  // min(8, ceil(5/2)) = 3 intervals; their median rejects the hiccup.
+  r.completion_cycles = {1000, 1100, 1200, 1300, 1400, 1560};
+  r.outputs.resize(6);
+  EXPECT_EQ(r.completion_intervals(),
+            (std::vector<std::uint64_t>{100, 100, 100, 100, 160}));
+  EXPECT_EQ(r.steady_interval_cycles(), 100u);
 
   BatchResult two;
   two.completion_cycles = {10, 30};
   two.outputs.resize(2);
   EXPECT_EQ(two.steady_interval_cycles(), 20u);
 
-  // Even count: mean of the middle pair of the trailing window.
+  // Even window: mean of the middle pair. Three intervals -> window of 2,
+  // which also drops the leading fill interval (100).
   BatchResult even;
-  even.completion_cycles = {0, 10, 30};  // intervals 10, 20
-  even.outputs.resize(3);
+  even.completion_cycles = {0, 100, 110, 130};  // intervals 100, 10, 20
+  even.outputs.resize(4);
   EXPECT_EQ(even.steady_interval_cycles(), 15u);
+}
+
+TEST(BatchResultTest, SteadyIntervalOfShortBatchExcludesFillTransient) {
+  // Regression: with a batch of 3 the first completion gap still contains
+  // pipeline fill (the first image's whole latency leaks into it). The old
+  // window of min(8, n-1) intervals averaged the transient in and reported
+  // 333 for a design whose steady interval is 266; the window must never
+  // cover more than the trailing half.
+  BatchResult r;
+  r.completion_cycles = {400, 800, 1066};  // intervals 400 (fill), 266
+  r.outputs.resize(3);
+  EXPECT_EQ(r.steady_interval_cycles(), 266u);
 }
 
 TEST(BatchResultTest, EmptyAndSingleImageBatchesAreGuarded) {

@@ -64,6 +64,9 @@ int usage() {
                "  devices: virtex7-485t | virtex7-330t | kintex7-325t\n"
                "  dot:     dfcnn dot <design> [batch=0]   (batch > 0 simulates first and\n"
                "           annotates edges with FIFO pressure)\n"
+               "  simulate: dfcnn simulate <design> [batch=32] [--compiled]\n"
+               "           (--compiled replays the static schedule instead of stepping\n"
+               "           cycles; identical results)\n"
                "  trace:   dfcnn trace <design> [batch=4] [--out trace.json]\n"
                "  serve:   dfcnn serve <design> [requests=2000] [rate_rps=0(auto)] "
                "[replicas=2]\n"
@@ -111,9 +114,12 @@ int cmd_info(const core::NetworkSpec& spec) {
   return 0;
 }
 
-int cmd_simulate(const core::NetworkSpec& spec, std::size_t batch) {
-  const auto m = report::measure_performance(spec, batch);
+int cmd_simulate(const core::NetworkSpec& spec, std::size_t batch, bool compiled) {
+  core::BuildOptions options;
+  if (compiled) options.execution_mode = core::ExecutionMode::kCompiledSchedule;
+  const auto m = report::measure_performance(spec, batch, 7, {}, {}, options);
   AsciiTable t({"metric", "value"});
+  t.add_row({"engine", compiled ? "compiled schedule" : "cycle accurate"});
   t.add_row({"batch", std::to_string(m.batch)});
   t.add_row({"total cycles", std::to_string(m.total_cycles)});
   t.add_row({"mean us/image", fmt_fixed(m.mean_us_per_image, 3)});
@@ -268,8 +274,16 @@ int main(int argc, char** argv) {
       return cmd_dot(load_design(design), batch);
     }
     if (cmd == "simulate") {
-      const std::size_t batch = argc > 3 ? std::stoul(argv[3]) : 32;
-      return cmd_simulate(load_design(design), batch);
+      std::size_t batch = 32;
+      bool compiled = false;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--compiled") == 0) {
+          compiled = true;
+        } else {
+          batch = std::stoul(argv[i]);
+        }
+      }
+      return cmd_simulate(load_design(design), batch, compiled);
     }
     if (cmd == "trace") {
       std::size_t batch = 4;

@@ -40,11 +40,18 @@ int main() {
     core::NetworkSpec spec;
     std::size_t trials;
     bool detection;
+    core::BuildOptions build;
   };
   std::vector<Run> runs;
-  runs.push_back({"usps+detect", core::make_usps_spec(), 48, true});
-  runs.push_back({"usps-detect", core::make_usps_spec(), 48, false});
-  runs.push_back({"cifar+detect", core::make_cifar_spec(), 24, true});
+  runs.push_back({"usps+detect", core::make_usps_spec(), 48, true, {}});
+  runs.push_back({"usps-detect", core::make_usps_spec(), 48, false, {}});
+  runs.push_back({"cifar+detect", core::make_cifar_spec(), 24, true, {}});
+  // Partitioned USPS: the inter-FPGA link FIFOs (L<i>.xfpga<p>) join the
+  // injectable sites, so the campaign also attacks words in board crossings.
+  core::BuildOptions twofpga;
+  twofpga.layer_device = {0, 0, 1, 1};
+  twofpga.link = core::LinkModel{40, 4};
+  runs.push_back({"usps-2fpga+detect", core::make_usps_spec(), 32, true, twofpga});
 
   AsciiTable t({"campaign", "trials", "masked", "det+rec", "sdc", "hang", "sdc rate",
                 "mean rec (cy)", "max rec (cy)"});
@@ -60,6 +67,7 @@ int main() {
     config.seed = 1;
     config.batch = 4;
     config.detection = run.detection;
+    config.build = run.build;
     fault::CampaignResult r = fault::run_campaign(run.spec, config);
 
     std::printf("=== %s: %zu trials over %zu sites (fault-free %llu cycles) ===\n%s%s\n\n",
@@ -85,11 +93,20 @@ int main() {
   const fault::CampaignResult& usps_det = results[0];
   const fault::CampaignResult& usps_raw = results[1];
   const fault::CampaignResult& cifar_det = results[2];
+  const fault::CampaignResult& twofpga_det = results[3];
+  bool twofpga_link_sites = false;
+  for (const auto& site : twofpga_det.sites) {
+    twofpga_link_sites = twofpga_link_sites || site.find("xfpga") != std::string::npos;
+  }
   std::printf("Shape checks:\n");
   std::printf("  zero SDC with detection (usps): %s (%zu trials)\n",
               usps_det.sdc == 0 ? "yes" : "NO", usps_det.trials.size());
   std::printf("  zero SDC with detection (cifar): %s (%zu trials)\n",
               cifar_det.sdc == 0 ? "yes" : "NO", cifar_det.trials.size());
+  std::printf("  zero SDC with detection (usps 2-FPGA): %s (%zu trials)\n",
+              twofpga_det.sdc == 0 ? "yes" : "NO", twofpga_det.trials.size());
+  std::printf("  partitioned campaign attacks link FIFOs: %s (%zu sites)\n",
+              twofpga_link_sites ? "yes" : "NO", twofpga_det.sites.size());
   std::printf("  detection-off baseline shows SDC or hangs (usps): %s (sdc %zu, hang %zu)\n",
               usps_raw.sdc + usps_raw.hang > 0 ? "yes" : "NO", usps_raw.sdc, usps_raw.hang);
   const bool bounded =
@@ -102,5 +119,35 @@ int main() {
               static_cast<unsigned long long>(usps_det.hang_budget),
               static_cast<unsigned long long>(cifar_det.max_recovery_latency_cycles()),
               static_cast<unsigned long long>(cifar_det.hang_budget));
-  return (usps_det.sdc == 0 && cifar_det.sdc == 0 && bounded) ? 0 : 1;
+
+  if (std::FILE* json = std::fopen("BENCH_fault.json", "w")) {
+    std::fprintf(json, "{\n  \"campaigns\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      std::fprintf(json,
+                   "    {\"label\": \"%s\", \"design\": \"%s\", \"detection\": %s,\n"
+                   "     \"trials\": %zu, \"sites\": %zu, \"masked\": %zu,\n"
+                   "     \"detected_recovered\": %zu, \"sdc\": %zu, \"hang\": %zu,\n"
+                   "     \"fault_free_cycles\": %llu}%s\n",
+                   runs[i].label, r.design.c_str(),
+                   r.config.detection ? "true" : "false", r.trials.size(), r.sites.size(),
+                   r.masked, r.detected_recovered, r.sdc, r.hang,
+                   static_cast<unsigned long long>(r.fault_free_cycles),
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "  ],\n  \"detected_sdc_total\": %zu,\n"
+                 "  \"twofpga_link_sites\": %s\n}\n",
+                 usps_det.sdc + cifar_det.sdc + twofpga_det.sdc,
+                 twofpga_link_sites ? "true" : "false");
+    std::fclose(json);
+  } else {
+    std::fprintf(stderr, "cannot open BENCH_fault.json\n");
+    return 1;
+  }
+
+  return (usps_det.sdc == 0 && cifar_det.sdc == 0 && twofpga_det.sdc == 0 && bounded &&
+          twofpga_link_sites)
+             ? 0
+             : 1;
 }

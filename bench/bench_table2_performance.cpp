@@ -5,6 +5,9 @@
 // Measurements stream a large batch (default 500 images, override with
 // DFCNN_TABLE2_BATCH) so the design is at pipeline steady state; data
 // transfers are part of the measurement, as in the paper.
+//
+// BENCH_table2.json records the deterministic cycle counts (and the derived
+// rates) per design so CI can gate on exact simulated-performance baselines.
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
@@ -73,6 +76,26 @@ int main() {
         m.mean_us_per_image, m.end_to_end_latency_us, m.steady_interval_us, m.watts);
     std::printf("  %-12s latency percentiles: p50=%.3f us  p95=%.3f us  p99=%.3f us\n",
                 specs[i].name.c_str(), m.p50_latency_us, m.p95_latency_us, m.p99_latency_us);
+  }
+
+  if (std::FILE* json = std::fopen("BENCH_table2.json", "w")) {
+    std::fprintf(json, "{\n  \"batch\": %zu,\n  \"designs\": [\n", batch);
+    for (int i = 0; i < 2; ++i) {
+      const auto& m = measured[i];
+      std::fprintf(json,
+                   "    {\"name\": \"%s\", \"total_cycles\": %llu,\n"
+                   "     \"images_per_second\": %.1f, \"gflops\": %.3f,\n"
+                   "     \"gflops_per_watt\": %.4f, \"mean_us_per_image\": %.4f}%s\n",
+                   specs[i].name.c_str(), static_cast<unsigned long long>(m.total_cycles),
+                   m.images_per_second, m.gflops, m.gflops_per_watt, m.mean_us_per_image,
+                   i == 0 ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"tc2_beats_ref28\": %s\n}\n",
+                 measured[1].images_per_second > kMicrosoftImagesPerSec ? "true" : "false");
+    std::fclose(json);
+  } else {
+    std::fprintf(stderr, "cannot open BENCH_table2.json\n");
+    return 1;
   }
 
   std::printf("\nShape checks (paper claims):\n");

@@ -14,13 +14,24 @@ using dfc::sst::Window;
 
 namespace {
 
-/// Adapts `streams` (carrying `channels` interleaved FMs round-robin) to
-/// `target` ports, inserting PortDemux/PortMerge cores as required
-/// (the three cases of Sec. IV-A).
-std::vector<Fifo<Flit>*> adapt_ports(SimContext& ctx, const std::string& name,
-                                     std::vector<Fifo<Flit>*> streams,
-                                     std::int64_t channels, int target,
-                                     std::size_t fifo_capacity) {
+/// Instantiates the memory structure of one port: fused window buffer or the
+/// element-level filter chain.
+void build_memory_structure(SimContext& ctx, const std::string& name,
+                            const dfc::sst::WindowGeometry& geom, bool use_filter_chain,
+                            Fifo<Flit>& in, Fifo<Window>& out) {
+  if (use_filter_chain) {
+    dfc::sst::build_filter_chain(ctx, name, geom, in, out);
+  } else {
+    ctx.add_process<dfc::sst::WindowBuffer>(name, geom, in, out);
+  }
+}
+
+}  // namespace
+
+std::vector<Fifo<Flit>*> adapt_stream_ports(SimContext& ctx, const std::string& name,
+                                            std::vector<Fifo<Flit>*> streams,
+                                            std::int64_t channels, int target,
+                                            std::size_t fifo_capacity) {
   const int up = static_cast<int>(streams.size());
   if (up == target) return streams;
 
@@ -66,68 +77,20 @@ std::vector<Fifo<Flit>*> adapt_ports(SimContext& ctx, const std::string& name,
   return out;
 }
 
-/// Instantiates the memory structure of one port: fused window buffer or the
-/// element-level filter chain.
-void build_memory_structure(SimContext& ctx, const std::string& name,
-                            const dfc::sst::WindowGeometry& geom, bool use_filter_chain,
-                            Fifo<Flit>& in, Fifo<Window>& out) {
-  if (use_filter_chain) {
-    dfc::sst::build_filter_chain(ctx, name, geom, in, out);
-  } else {
-    ctx.add_process<dfc::sst::WindowBuffer>(name, geom, in, out);
-  }
-}
+SegmentStreams append_layer_segment(SimContext& ctx, const NetworkSpec& spec,
+                                    std::size_t first, std::size_t last, SegmentStreams in,
+                                    const BuildOptions& options, const std::string& prefix,
+                                    SegmentCores& cores) {
+  std::vector<Fifo<Flit>*> streams = std::move(in.streams);
+  Shape3 shape = in.shape;
 
-}  // namespace
-
-Accelerator build_accelerator(const NetworkSpec& spec, const BuildOptions& options) {
-  spec.validate();
-  if (!options.layer_device.empty()) {
-    DFC_REQUIRE(options.layer_device.size() == spec.layers.size(),
-                "layer_device must cover every layer");
-  }
-
-  Accelerator acc;
-  acc.spec = spec;
-  acc.options = options;
-  acc.ctx = std::make_unique<SimContext>();
-  SimContext& ctx = *acc.ctx;
-
-  if (options.dma_shared_bus) {
-    acc.bus = std::make_unique<DmaBus>(options.dma_cycles_per_word);
-  }
-
-  // DMA input: one 32-bit stream carrying the image channels interleaved.
-  auto& dma_in = ctx.add_fifo<Flit>("dma.in", options.stream_fifo_capacity);
-  acc.source = &ctx.add_process<DmaSource>("dma.source", dma_in, spec.input_shape,
-                                           options.dma_cycles_per_word, acc.bus.get());
-  if (acc.bus) acc.bus->attach_source(acc.source);
-
-  std::vector<Fifo<Flit>*> streams{&dma_in};
-  Shape3 shape = spec.input_shape;
-
-  for (std::size_t li = 0; li < spec.layers.size(); ++li) {
+  for (std::size_t li = first; li < last; ++li) {
     const LayerSpec& layer = spec.layers[li];
-    const std::string lname = "L" + std::to_string(li);
-
-    // Device boundary: route every stream port through an inter-FPGA link.
-    if (!options.layer_device.empty() && li > 0 &&
-        options.layer_device[li] != options.layer_device[li - 1]) {
-      std::vector<Fifo<Flit>*> linked;
-      linked.reserve(streams.size());
-      for (std::size_t p = 0; p < streams.size(); ++p) {
-        auto& f = ctx.add_fifo<Flit>(lname + ".xfpga" + std::to_string(p),
-                                     options.stream_fifo_capacity);
-        acc.links.push_back(&ctx.add_process<LinkChannel>(
-            lname + ".link" + std::to_string(p), options.link, *streams[p], f));
-        linked.push_back(&f);
-      }
-      streams = std::move(linked);
-    }
+    const std::string lname = prefix + "L" + std::to_string(li);
 
     if (const auto* conv = std::get_if<ConvLayerSpec>(&layer)) {
-      streams = adapt_ports(ctx, lname, std::move(streams), shape.c, conv->in_ports,
-                            options.stream_fifo_capacity);
+      streams = adapt_stream_ports(ctx, lname, std::move(streams), shape.c, conv->in_ports,
+                                   options.stream_fifo_capacity);
 
       dfc::sst::WindowGeometry geom;
       geom.in_w = shape.w;
@@ -167,14 +130,14 @@ Accelerator build_accelerator(const NetworkSpec& spec, const BuildOptions& optio
       cfg.biases = conv->biases;
       cfg.activation = conv->act;
       cfg.latency = spec.latency;
-      acc.conv_cores.push_back(
+      cores.conv_cores.push_back(
           &ctx.add_process<dfc::hls::ConvCore>(lname + ".conv", std::move(cfg), windows, outs));
 
       streams = std::move(outs);
       shape = out_shape;
     } else if (const auto* pool = std::get_if<PoolLayerSpec>(&layer)) {
-      streams = adapt_ports(ctx, lname, std::move(streams), shape.c, pool->ports,
-                            options.stream_fifo_capacity);
+      streams = adapt_stream_ports(ctx, lname, std::move(streams), shape.c, pool->ports,
+                                   options.stream_fifo_capacity);
 
       dfc::sst::WindowGeometry geom;
       geom.in_w = shape.w;
@@ -198,7 +161,7 @@ Accelerator build_accelerator(const NetworkSpec& spec, const BuildOptions& optio
         cfg.kh = pool->kh;
         cfg.kw = pool->kw;
         cfg.latency = spec.latency;
-        acc.pool_cores.push_back(
+        cores.pool_cores.push_back(
             &ctx.add_process<dfc::hls::PoolCore>(lname + ".pool" + std::to_string(p), cfg, wf, of));
         outs.push_back(&of);
       }
@@ -207,8 +170,8 @@ Accelerator build_accelerator(const NetworkSpec& spec, const BuildOptions& optio
     } else {
       const auto& fcn = std::get<FcnLayerSpec>(layer);
       // FCN cores are single-input-port/single-output-port (Sec. IV-B).
-      streams = adapt_ports(ctx, lname, std::move(streams), shape.c, 1,
-                            options.stream_fifo_capacity);
+      streams = adapt_stream_ports(ctx, lname, std::move(streams), shape.c, 1,
+                                   options.stream_fifo_capacity);
 
       auto& of = ctx.add_fifo<Flit>(lname + ".out", options.stream_fifo_capacity);
       dfc::hls::FcnCoreConfig cfg;
@@ -219,17 +182,81 @@ Accelerator build_accelerator(const NetworkSpec& spec, const BuildOptions& optio
       cfg.activation = fcn.act;
       cfg.num_accumulators = fcn.num_accumulators;
       cfg.latency = spec.latency;
-      acc.fcn_cores.push_back(
+      cores.fcn_cores.push_back(
           &ctx.add_process<dfc::hls::FcnCore>(lname + ".fcn", std::move(cfg), *streams[0], of));
       streams = {&of};
       shape = Shape3{fcn.out_count, 1, 1};
     }
   }
 
+  return SegmentStreams{std::move(streams), shape};
+}
+
+Accelerator build_accelerator(const NetworkSpec& spec, const BuildOptions& options) {
+  spec.validate();
+  if (!options.layer_device.empty()) {
+    DFC_REQUIRE(options.layer_device.size() == spec.layers.size(),
+                "layer_device must cover every layer");
+  }
+
+  Accelerator acc;
+  acc.spec = spec;
+  acc.options = options;
+  acc.ctx = std::make_unique<SimContext>();
+  SimContext& ctx = *acc.ctx;
+
+  if (options.dma_shared_bus) {
+    acc.bus = std::make_unique<DmaBus>(options.dma_cycles_per_word);
+  }
+
+  // DMA input: one 32-bit stream carrying the image channels interleaved.
+  auto& dma_in = ctx.add_fifo<Flit>("dma.in", options.stream_fifo_capacity);
+  acc.source = &ctx.add_process<DmaSource>("dma.source", dma_in, spec.input_shape,
+                                           options.dma_cycles_per_word, acc.bus.get());
+  if (acc.bus) acc.bus->attach_source(acc.source);
+
+  SegmentStreams cur{{&dma_in}, spec.input_shape};
+  SegmentCores cores;
+
+  // Walk the layers one same-device run at a time, routing every stream port
+  // through an inter-FPGA link at each device boundary.
+  std::size_t li = 0;
+  while (li < spec.layers.size()) {
+    std::size_t seg_end = spec.layers.size();
+    if (!options.layer_device.empty()) {
+      seg_end = li + 1;
+      while (seg_end < spec.layers.size() &&
+             options.layer_device[seg_end] == options.layer_device[li]) {
+        ++seg_end;
+      }
+    }
+
+    if (li > 0) {
+      const std::string lname = "L" + std::to_string(li);
+      std::vector<Fifo<Flit>*> linked;
+      linked.reserve(cur.streams.size());
+      for (std::size_t p = 0; p < cur.streams.size(); ++p) {
+        auto& f = ctx.add_fifo<Flit>(lname + ".xfpga" + std::to_string(p),
+                                     options.stream_fifo_capacity);
+        acc.links.push_back(&ctx.add_process<LinkChannel>(
+            lname + ".link" + std::to_string(p), options.link, *cur.streams[p], f));
+        linked.push_back(&f);
+      }
+      cur.streams = std::move(linked);
+    }
+
+    cur = append_layer_segment(ctx, spec, li, seg_end, std::move(cur), options, "", cores);
+    li = seg_end;
+  }
+
+  acc.conv_cores = std::move(cores.conv_cores);
+  acc.fcn_cores = std::move(cores.fcn_cores);
+  acc.pool_cores = std::move(cores.pool_cores);
+
   // The DMA S2MM channel is a single 32-bit stream; merge multi-port outputs.
-  streams = adapt_ports(ctx, "dma", std::move(streams), shape.c, 1,
-                        options.stream_fifo_capacity);
-  acc.sink = &ctx.add_process<DmaSink>("dma.sink", *streams[0], shape.volume(),
+  cur.streams = adapt_stream_ports(ctx, "dma", std::move(cur.streams), cur.shape.c, 1,
+                                   options.stream_fifo_capacity);
+  acc.sink = &ctx.add_process<DmaSink>("dma.sink", *cur.streams[0], cur.shape.volume(),
                                        options.dma_cycles_per_word, acc.bus.get());
   if (acc.bus) acc.bus->attach_sink(acc.sink);
   return acc;

@@ -72,4 +72,42 @@ struct Accelerator {
 /// Builds the full design. Throws ConfigError on invalid specs.
 Accelerator build_accelerator(const NetworkSpec& spec, const BuildOptions& options = {});
 
+// --- Segment-level building blocks (shared with src/multifpga/exec) ----------
+//
+// build_accelerator is a composition of these: the layer pipeline is built
+// one contiguous layer range ("segment") at a time, and the multi-FPGA
+// executor reuses the same functions to materialise each segment inside its
+// own per-device SimContext. `prefix` namespaces every FIFO/process name
+// (the single-device builder passes "", keeping historical names).
+
+/// Compute-core views collected while appending segments.
+struct SegmentCores {
+  std::vector<dfc::hls::ConvCore*> conv_cores;
+  std::vector<dfc::hls::FcnCore*> fcn_cores;
+  std::vector<dfc::hls::PoolCore*> pool_cores;
+};
+
+/// The stream bundle flowing between segments: one FIFO per port plus the
+/// feature-map shape those ports carry (channels interleaved round-robin).
+struct SegmentStreams {
+  std::vector<dfc::df::Fifo<dfc::axis::Flit>*> streams;
+  Shape3 shape{};
+};
+
+/// Adapts `streams` (carrying `channels` interleaved FMs round-robin) to
+/// `target` ports, inserting PortDemux/PortMerge cores as required
+/// (the three cases of Sec. IV-A).
+std::vector<dfc::df::Fifo<dfc::axis::Flit>*> adapt_stream_ports(
+    dfc::df::SimContext& ctx, const std::string& name,
+    std::vector<dfc::df::Fifo<dfc::axis::Flit>*> streams, std::int64_t channels,
+    int target, std::size_t fifo_capacity);
+
+/// Appends layers [first, last) of `spec` to `ctx`, consuming the incoming
+/// stream bundle and returning the segment's outgoing one. Core views are
+/// appended to `cores` in layer order.
+SegmentStreams append_layer_segment(dfc::df::SimContext& ctx, const NetworkSpec& spec,
+                                    std::size_t first, std::size_t last, SegmentStreams in,
+                                    const BuildOptions& options, const std::string& prefix,
+                                    SegmentCores& cores);
+
 }  // namespace dfc::core

@@ -166,7 +166,7 @@ void SimContext::step_checked() {
   finish_cycle(any_activity);
 }
 
-std::uint64_t SimContext::fast_forward(std::uint64_t limit_cycle) {
+std::uint64_t SimContext::fast_forward_candidate() {
   // Only valid straight after an idle cycle: any FIFO activity means some
   // process may act next cycle. While observing, every cycle must be stepped
   // (and classified) explicitly, so jumping is off the table.
@@ -187,13 +187,19 @@ std::uint64_t SimContext::fast_forward(std::uint64_t limit_cycle) {
     wake = std::min(wake, p->sched_wake_);
   }
   if (wake <= cycle_) return 0;
+  return wake;
+}
+
+std::uint64_t SimContext::fast_forward(std::uint64_t limit_cycle) {
+  const std::uint64_t wake = fast_forward_candidate();
+  if (wake == 0) return 0;
 
   // Jump to the earliest of: the next wake, the caller's cycle budget, and
   // the cycle at which the idle watchdog fires — so errors and predicate
   // checks happen at exactly the same cycle as under the naive loop.
   std::uint64_t target = wake;
   const std::uint64_t idle_left = idle_limit_ >= idle_cycles_ ? idle_limit_ - idle_cycles_ + 1 : 0;
-  if (cycle_ + idle_left < target) target = cycle_ + idle_left;
+  if (idle_left < target - cycle_) target = cycle_ + idle_left;
   if (limit_cycle < target) target = limit_cycle;
   if (target <= cycle_) return 0;
 

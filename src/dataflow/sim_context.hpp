@@ -119,8 +119,20 @@ class SimContext {
   /// no jump is possible). run_until() calls this automatically.
   std::uint64_t fast_forward(std::uint64_t limit_cycle = Process::kNeverWake);
 
+  /// The cycle fast_forward() would jump to right now, or 0 when no jump is
+  /// possible (some process may act, the scheduler mode forbids skipping, or
+  /// the last cycle saw FIFO activity). Does not advance the clock; may fill
+  /// lazy wake caches. The multi-FPGA executor uses this to pick a common
+  /// jump target across several lockstepped contexts before committing any
+  /// of them.
+  std::uint64_t fast_forward_candidate();
+
   /// Current simulation time in cycles since construction/reset.
   std::uint64_t cycle() const { return cycle_; }
+
+  /// Consecutive cycles without FIFO activity ending at cycle() (the idle
+  /// watchdog's counter; fast-forwarded cycles count as idle).
+  std::uint64_t idle_cycles() const { return idle_cycles_; }
 
   /// Clears all FIFOs, resets all processes, and rewinds the clock.
   /// FIFO statistics are kept (see reset_fifo_stats()).

@@ -85,7 +85,7 @@ CampaignResult run_campaign(const core::NetworkSpec& spec, const CampaignConfig&
   // injection window and the list of injectable sites.
   std::vector<std::vector<float>> golden;
   {
-    core::AcceleratorHarness harness(core::build_accelerator(spec));
+    core::AcceleratorHarness harness(core::build_accelerator(spec, config.build));
     const core::BatchResult r = harness.run_batch(images);
     result.fault_free_cycles = r.total_cycles();
     golden = r.outputs;
@@ -95,6 +95,16 @@ CampaignResult run_campaign(const core::NetworkSpec& spec, const CampaignConfig&
     }
   }
   result.hang_budget = hang_budget_cycles(spec, config.batch, config.budget_factor);
+  if (!config.build.layer_device.empty()) {
+    // The analytic budget knows nothing about link traversal/serialization
+    // fill time; anchor a partitioned design's budget to its measured
+    // fault-free run so slow links cannot misclassify clean trials as hangs.
+    result.hang_budget = std::max(
+        result.hang_budget,
+        static_cast<std::uint64_t>(config.budget_factor *
+                                   static_cast<double>(result.fault_free_cycles)) +
+            10'000);
+  }
 
   result.trials.resize(config.trials);
   dfc::run_indexed(config.trials, config.threads, [&](std::size_t t) {
@@ -103,7 +113,7 @@ CampaignResult run_campaign(const core::NetworkSpec& spec, const CampaignConfig&
     Rng rng((config.seed << 20) ^ (t + 1));
     tr.fault = draw_fault(rng, result.sites, result.fault_free_cycles);
 
-    core::AcceleratorHarness harness(core::build_accelerator(spec));
+    core::AcceleratorHarness harness(core::build_accelerator(spec, config.build));
     core::Accelerator& acc = harness.accelerator();
 
     FaultPlan plan;

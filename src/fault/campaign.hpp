@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "core/builder.hpp"
 #include "core/network_spec.hpp"
 #include "fault/fault_plan.hpp"
 
@@ -43,6 +44,12 @@ struct CampaignConfig {
   bool detection = true;       ///< integrity guards + stream guard + watchdog
   std::size_t threads = 0;     ///< worker pool size (0 = auto)
   double budget_factor = 3.0;  ///< hang budget = factor × analytic fill+drain
+
+  /// Design variant to attack. A non-empty layer_device builds the
+  /// partitioned design (LinkChannel boundaries), whose inter-FPGA FIFOs
+  /// (L<i>.xfpga<p>) then appear among the injectable sites — the campaign
+  /// covers link bit-flips/drops/jams with the same detectors.
+  core::BuildOptions build{};
 };
 
 struct TrialResult {

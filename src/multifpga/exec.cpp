@@ -1,0 +1,308 @@
+#include "multifpga/exec.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace dfc::mfpga {
+
+using dfc::axis::Flit;
+using dfc::core::BatchResult;
+using dfc::core::RunStatus;
+using dfc::df::Fifo;
+using dfc::df::SimContext;
+
+namespace {
+
+// Lockstepped contexts must never trip their private idle watchdogs (the
+// harness owns the global one) nor clamp a coordinated fast-forward jump
+// shorter than the common target — both would desynchronise the clocks.
+constexpr std::uint64_t kDeviceIdleLimit = 1'000'000'000'000ULL;
+
+std::string device_prefix(std::size_t d) { return "fpga" + std::to_string(d) + "."; }
+
+}  // namespace
+
+std::uint64_t MultiFpgaAccelerator::link_words_transferred() const {
+  std::uint64_t total = 0;
+  for (const auto& w : wires) total += w->words_transferred();
+  return total;
+}
+
+MultiFpgaAccelerator build_multi_fpga(const dfc::core::NetworkSpec& spec,
+                                      const std::vector<std::size_t>& layer_device,
+                                      const dfc::core::BuildOptions& options,
+                                      int link_credits) {
+  spec.validate();
+  DFC_REQUIRE(layer_device.size() == spec.layers.size(),
+              "layer_device must cover every layer");
+  for (std::size_t i = 1; i < layer_device.size(); ++i) {
+    DFC_REQUIRE(layer_device[i] >= layer_device[i - 1],
+                "layer_device must be monotone non-decreasing (the design is a pipeline)");
+  }
+
+  MultiFpgaAccelerator acc;
+  acc.spec = spec;
+  acc.options = options;
+  acc.layer_device = layer_device;
+  acc.link = dfc::core::InterLinkModel{options.link, link_credits};
+  acc.link.validate();
+
+  // One DeviceSim per maximal same-device layer run, in pipeline order.
+  std::size_t li = 0;
+  while (li < spec.layers.size()) {
+    std::size_t seg_end = li + 1;
+    while (seg_end < spec.layers.size() && layer_device[seg_end] == layer_device[li]) {
+      ++seg_end;
+    }
+    DeviceSim dev;
+    dev.device = acc.devices.size();
+    dev.first_layer = li;
+    dev.last_layer = seg_end;
+    dev.ctx = std::make_unique<SimContext>();
+    dev.ctx->set_idle_limit(kDeviceIdleLimit);
+    acc.devices.push_back(std::move(dev));
+    li = seg_end;
+  }
+
+  const std::size_t num_devices = acc.devices.size();
+  DeviceSim& first = acc.devices.front();
+
+  // DMA MM2S endpoint on the first device (its own bus arbiter: boards do
+  // not share a DMA; when the design collapses to one device the source and
+  // sink contend on that single bus exactly like the single-device builder).
+  if (options.dma_shared_bus) {
+    first.bus = std::make_unique<dfc::core::DmaBus>(options.dma_cycles_per_word);
+  }
+  auto& dma_in = first.ctx->add_fifo<Flit>(device_prefix(0) + "dma.in",
+                                           options.stream_fifo_capacity);
+  acc.source = &first.ctx->add_process<dfc::core::DmaSource>(
+      device_prefix(0) + "dma.source", dma_in, spec.input_shape, options.dma_cycles_per_word,
+      first.bus.get());
+  if (first.bus) first.bus->attach_source(acc.source);
+
+  dfc::core::SegmentStreams cur{{&dma_in}, spec.input_shape};
+
+  for (std::size_t d = 0; d < num_devices; ++d) {
+    DeviceSim& dev = acc.devices[d];
+    if (d > 0) {
+      // Boundary crossing: one Tx/wire/Rx triple per stream port. The Tx
+      // drains the upstream segment's output FIFO; the Rx fills a fresh
+      // ingress FIFO on this device.
+      DeviceSim& up = acc.devices[d - 1];
+      const std::string lname = "L" + std::to_string(dev.first_layer);
+      std::vector<Fifo<Flit>*> linked;
+      linked.reserve(cur.streams.size());
+      for (std::size_t p = 0; p < cur.streams.size(); ++p) {
+        auto wire = std::make_unique<dfc::core::InterLinkWire>(
+            lname + ".wire" + std::to_string(p), acc.link);
+        auto& ingress = dev.ctx->add_fifo<Flit>(
+            device_prefix(d) + lname + ".xfpga" + std::to_string(p),
+            options.stream_fifo_capacity);
+        auto& tx = up.ctx->add_process<dfc::core::InterLinkTx>(
+            device_prefix(d - 1) + lname + ".tx" + std::to_string(p), *cur.streams[p], *wire);
+        auto& rx = dev.ctx->add_process<dfc::core::InterLinkRx>(
+            device_prefix(d) + lname + ".rx" + std::to_string(p), *wire, ingress);
+        wire->bind(&tx, &rx);
+        acc.txs.push_back(&tx);
+        acc.rxs.push_back(&rx);
+        acc.wires.push_back(std::move(wire));
+        linked.push_back(&ingress);
+      }
+      cur.streams = std::move(linked);
+    }
+    cur = dfc::core::append_layer_segment(*dev.ctx, spec, dev.first_layer, dev.last_layer,
+                                          std::move(cur), options, device_prefix(d),
+                                          dev.cores);
+  }
+
+  // DMA S2MM endpoint on the last device.
+  DeviceSim& last = acc.devices.back();
+  if (options.dma_shared_bus && num_devices > 1) {
+    last.bus = std::make_unique<dfc::core::DmaBus>(options.dma_cycles_per_word);
+  }
+  const std::string sink_prefix = device_prefix(num_devices - 1);
+  cur.streams = dfc::core::adapt_stream_ports(*last.ctx, sink_prefix + "dma",
+                                              std::move(cur.streams), cur.shape.c, 1,
+                                              options.stream_fifo_capacity);
+  acc.sink = &last.ctx->add_process<dfc::core::DmaSink>(
+      sink_prefix + "dma.sink", *cur.streams[0], cur.shape.volume(),
+      options.dma_cycles_per_word, last.bus.get());
+  if (last.bus) last.bus->attach_sink(acc.sink);
+  return acc;
+}
+
+MultiFpgaHarness::MultiFpgaHarness(MultiFpgaAccelerator acc) : acc_(std::move(acc)) {}
+
+void MultiFpgaHarness::reset() {
+  for (auto& dev : acc_.devices) {
+    dev.ctx->reset();
+    dev.ctx->reset_fifo_stats();
+  }
+  for (auto& w : acc_.wires) w->reset();
+}
+
+dfc::df::FifoBase* MultiFpgaHarness::find_fifo(const std::string& name) {
+  for (auto& dev : acc_.devices) {
+    if (dfc::df::FifoBase* f = dev.ctx->find_fifo(name)) return f;
+  }
+  return nullptr;
+}
+
+std::string MultiFpgaHarness::fifo_report() const {
+  std::string report;
+  for (const auto& dev : acc_.devices) {
+    report += "device " + std::to_string(dev.device) + " (layers " +
+              std::to_string(dev.first_layer) + ".." + std::to_string(dev.last_layer - 1) +
+              "):\n" + dev.ctx->fifo_report();
+  }
+  const std::uint64_t now = acc_.devices.front().ctx->cycle();
+  for (const auto& w : acc_.wires) {
+    report += "wire " + w->name() + ": words=" + std::to_string(w->words_transferred()) +
+              (w->idle(now) ? "" : " (in flight)") + "\n";
+  }
+  return report;
+}
+
+void MultiFpgaHarness::attach_traces(const std::vector<obs::TraceSink*>& sinks) {
+  DFC_REQUIRE(sinks.size() == acc_.devices.size(),
+              "attach_traces needs exactly one sink per device");
+  for (std::size_t d = 0; d < sinks.size(); ++d) {
+    acc_.devices[d].ctx->attach_trace(sinks[d]);
+  }
+}
+
+void MultiFpgaHarness::detach_traces() {
+  for (auto& dev : acc_.devices) dev.ctx->attach_trace(nullptr);
+}
+
+void MultiFpgaHarness::enable_integrity_guards(dfc::df::FaultListener* listener,
+                                               float range_bound) {
+  for (auto& dev : acc_.devices) dev.ctx->enable_integrity_guards(listener, range_bound);
+}
+
+void MultiFpgaHarness::disable_integrity_guards() {
+  for (auto& dev : acc_.devices) dev.ctx->disable_integrity_guards();
+}
+
+BatchResult MultiFpgaHarness::collect(std::size_t requested) const {
+  BatchResult r;
+  r.start_cycle = 0;
+  r.requested = requested;
+  r.inject_cycles = acc_.source->inject_cycles();
+  r.completion_cycles = acc_.sink->completion_cycles();
+  r.outputs = acc_.sink->outputs();
+  r.end_cycle = r.completion_cycles.empty() ? 0 : r.completion_cycles.back();
+  return r;
+}
+
+BatchResult MultiFpgaHarness::run_batch(const std::vector<Tensor>& images,
+                                        std::uint64_t max_cycles) {
+  DFC_REQUIRE(!images.empty(), "run_batch needs at least one image");
+  reset();
+  for (const Tensor& img : images) acc_.source->enqueue(img);
+  const std::size_t want = images.size();
+
+  RunStatus status = RunStatus::kOk;
+  std::string error;
+  std::uint64_t global_idle = 0;
+
+  while (acc_.sink->images_completed() < want) {
+    const std::uint64_t now = acc_.devices.front().ctx->cycle();
+    if (now >= max_cycles) {
+      status = RunStatus::kTimeout;
+      error = "multi-FPGA run exceeded " + std::to_string(max_cycles) + " cycles\n" +
+              fifo_report();
+      break;
+    }
+
+    // One global cycle: every device steps once. Link latency >= 1
+    // guarantees nothing sent this cycle is visible before the next, so the
+    // order of this loop cannot influence results.
+    bool any_active = false;
+    for (auto& dev : acc_.devices) {
+      dev.ctx->step();
+      if (dev.ctx->idle_cycles() == 0) any_active = true;
+    }
+    global_idle = any_active ? 0 : global_idle + 1;
+    if (global_idle > idle_limit_) {
+      status = RunStatus::kDeadlock;
+      error = "deadlock: no FIFO activity on any device for " + std::to_string(global_idle) +
+              " cycles at cycle " + std::to_string(acc_.devices.front().ctx->cycle()) + "\n" +
+              fifo_report();
+      break;
+    }
+    if (!any_active) {
+      // Coordinated fast-forward: only jump when every device can, and only
+      // to a cycle no device (or link endpoint, via the Tx/Rx wake hints)
+      // wants to act before. Clamped so the global watchdog and the cycle
+      // budget fire at exactly the cycles lockstep stepping would reach.
+      std::uint64_t target = dfc::df::Process::kNeverWake;
+      bool can_jump = true;
+      for (auto& dev : acc_.devices) {
+        const std::uint64_t wake = dev.ctx->fast_forward_candidate();
+        if (wake == 0) {
+          can_jump = false;
+          break;
+        }
+        target = std::min(target, wake);
+      }
+      if (can_jump) {
+        const std::uint64_t here = acc_.devices.front().ctx->cycle();
+        const std::uint64_t idle_left =
+            idle_limit_ >= global_idle ? idle_limit_ - global_idle + 1 : 0;
+        if (idle_left < target - here) target = here + idle_left;
+        if (max_cycles < target) target = max_cycles;
+        if (target > here) {
+          for (auto& dev : acc_.devices) {
+            dev.ctx->fast_forward(target);
+            DFC_ASSERT(dev.ctx->cycle() == target,
+                       "multi-FPGA fast-forward desynchronised device clocks");
+          }
+          global_idle += target - here;
+          if (global_idle > idle_limit_) {
+            status = RunStatus::kDeadlock;
+            error = "deadlock: no FIFO activity on any device for " +
+                    std::to_string(global_idle) + " cycles at cycle " +
+                    std::to_string(target) + "\n" + fifo_report();
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  BatchResult r = collect(images.size());
+  r.status = status;
+  r.error = std::move(error);
+  if (!r.ok()) r.end_cycle = acc_.devices.front().ctx->cycle();
+  return r;
+}
+
+std::vector<float> MultiFpgaHarness::run_image(const Tensor& image) {
+  const BatchResult r = run_batch({image});
+  DFC_CHECK(r.ok(), std::string("run_image did not complete: ") +
+                        dfc::core::run_status_name(r.status));
+  return r.outputs.front();
+}
+
+void merge_traces(const std::vector<const obs::TraceSink*>& sinks, obs::TraceSink& out) {
+  DFC_REQUIRE(out.entities().empty() && out.events().empty(),
+              "merge_traces needs a fresh output sink");
+  std::vector<std::uint32_t> base;
+  base.reserve(sinks.size());
+  for (const obs::TraceSink* sink : sinks) {
+    base.push_back(static_cast<std::uint32_t>(out.entities().size()));
+    for (const obs::TraceEntity& e : sink->entities()) {
+      out.register_entity(e.name, e.kind, e.capacity);
+    }
+  }
+  for (std::size_t i = 0; i < sinks.size(); ++i) {
+    for (const obs::TraceEvent& ev : sinks[i]->events()) {
+      out.record(ev.entity + base[i], ev.kind, ev.cycle, ev.value);
+    }
+  }
+}
+
+}  // namespace dfc::mfpga

@@ -35,10 +35,19 @@ std::vector<dfc::hw::ResourceUsage> usage_per_device(
 
 dse::TimingEstimate estimate_multi_timing(const NetworkSpec& spec,
                                           const std::vector<std::size_t>& layer_device,
-                                          const LinkModel& link) {
+                                          const LinkModel& link, int credits) {
   DFC_REQUIRE(layer_device.size() == spec.layers.size(),
               "layer_device must cover every layer");
   dse::TimingEstimate est = dse::estimate_timing(spec);
+
+  // Sustained link rate: the serializer accepts one word per cycles_per_word
+  // cycles, and a finite credit window caps throughput at `credits` words
+  // per 2*latency round trip — whichever is slower binds.
+  std::int64_t cycles_per_word = link.cycles_per_word;
+  if (credits > 0) {
+    cycles_per_word = std::max<std::int64_t>(
+        cycles_per_word, dfc::ceil_div(2 * link.latency_cycles, credits));
+  }
 
   // Insert a link stage for every device boundary: the crossing carries the
   // producing layer's full output volume per image, split over its ports.
@@ -49,8 +58,7 @@ dse::TimingEstimate estimate_multi_timing(const NetworkSpec& spec,
       const int ports = dfc::core::layer_out_ports(spec.layers[i]);
       dse::StageTiming st;
       st.name = "link" + std::to_string(i) + "->" + std::to_string(i + 1);
-      st.cycles_per_image =
-          dfc::ceil_div(shape.volume(), ports) * link.cycles_per_word;
+      st.cycles_per_image = dfc::ceil_div(shape.volume(), ports) * cycles_per_word;
       est.stages.push_back(st);
     }
   }
@@ -100,10 +108,15 @@ MultiFpgaPlan partition_network(const NetworkSpec& spec,
     }
     if (!plan.fits) return;
     plan.timing = estimate_multi_timing(spec, layer_device, link);
+    // Deterministic total order: best interval, then fewest devices, then
+    // the lexicographically smallest assignment — so equal-quality plans
+    // resolve identically no matter how the cut space is enumerated.
     const bool better =
         !have_best || plan.timing.interval_cycles < best.timing.interval_cycles ||
         (plan.timing.interval_cycles == best.timing.interval_cycles &&
-         plan.num_devices_used() < best.num_devices_used());
+         (plan.num_devices_used() < best.num_devices_used() ||
+          (plan.num_devices_used() == best.num_devices_used() &&
+           plan.layer_device < best.layer_device)));
     if (better) {
       best = std::move(plan);
       have_best = true;
@@ -135,6 +148,69 @@ MultiFpgaPlan partition_network(const NetworkSpec& spec,
 
   DFC_REQUIRE(have_best,
               "no contiguous partition of '" + spec.name + "' fits the given devices");
+  return best;
+}
+
+MultiFpgaPlan partition_network_exact(const NetworkSpec& spec, std::size_t num_devices,
+                                      const LinkModel& link, int credits,
+                                      const dfc::hw::CostModel& cost) {
+  spec.validate();
+  link.validate();
+  const std::size_t layers = spec.layers.size();
+  DFC_REQUIRE(num_devices >= 1, "need at least one device");
+  DFC_REQUIRE(num_devices <= layers,
+              "cannot split " + std::to_string(layers) + " layer(s) of '" + spec.name +
+                  "' across " + std::to_string(num_devices) + " devices");
+
+  MultiFpgaPlan best;
+  bool have_best = false;
+
+  const auto evaluate = [&](const std::vector<std::size_t>& layer_device) {
+    MultiFpgaPlan plan;
+    plan.layer_device = layer_device;
+    plan.device_usage = usage_per_device(spec, layer_device, num_devices, cost);
+    plan.device_fits.assign(num_devices, true);  // fit is not a constraint here
+    plan.fits = true;
+    plan.timing = estimate_multi_timing(spec, layer_device, link, credits);
+    const bool better =
+        !have_best || plan.timing.interval_cycles < best.timing.interval_cycles ||
+        (plan.timing.interval_cycles == best.timing.interval_cycles &&
+         plan.layer_device < best.layer_device);
+    if (better) {
+      best = std::move(plan);
+      have_best = true;
+    }
+  };
+
+  // Strictly increasing interior cuts: cut[d] is the first layer of device
+  // d+1, so every device hosts at least one layer.
+  std::vector<std::size_t> cut(num_devices - 1);
+  for (std::size_t d = 0; d + 1 < num_devices; ++d) cut[d] = d + 1;
+  while (true) {
+    std::vector<std::size_t> layer_device(layers, 0);
+    std::size_t dev = 0;
+    for (std::size_t i = 0; i < layers; ++i) {
+      while (dev < cut.size() && i >= cut[dev]) ++dev;
+      layer_device[i] = dev;
+    }
+    evaluate(layer_device);
+
+    // Next strictly-increasing combination of interior cuts in 1..layers-1.
+    std::size_t d = cut.size();
+    while (d > 0) {
+      --d;
+      if (++cut[d] <= layers - (cut.size() - d)) {
+        for (std::size_t e = d + 1; e < cut.size(); ++e) cut[e] = cut[e - 1] + 1;
+        break;
+      }
+      if (d == 0) {
+        DFC_CHECK(have_best, "partition_network_exact found no assignment");
+        return best;
+      }
+    }
+    if (cut.empty()) break;
+  }
+  DFC_CHECK(have_best, "partition_network_exact found no assignment");
   return best;
 }
 

@@ -44,16 +44,36 @@ std::vector<dfc::hw::ResourceUsage> usage_per_device(
     std::size_t num_devices, const dfc::hw::CostModel& cost = {});
 
 /// Timing estimate with inter-FPGA link stages for boundary crossings.
+/// `credits > 0` models a credit-limited link (core/interlink): the
+/// sustained rate is one word per max(cycles_per_word,
+/// ceil(2*latency/credits)) cycles, since at most `credits` words fit in a
+/// credit round trip. 0 means an unconstrained (auto-sized) window, i.e.
+/// the serializer rate alone.
 dse::TimingEstimate estimate_multi_timing(const dfc::core::NetworkSpec& spec,
                                           const std::vector<std::size_t>& layer_device,
-                                          const dfc::core::LinkModel& link);
+                                          const dfc::core::LinkModel& link,
+                                          int credits = 0);
 
 /// Finds the best contiguous partition of `spec` over `devices` (in pipeline
-/// order). Throws ConfigError if no contiguous split fits.
+/// order). Throws ConfigError if no contiguous split fits. Ties (equal
+/// predicted interval and device count) break on the lexicographically
+/// smallest layer_device vector, so results are deterministic and
+/// independent of enumeration order.
 MultiFpgaPlan partition_network(const dfc::core::NetworkSpec& spec,
                                 const std::vector<dfc::hw::Device>& devices,
                                 const dfc::core::LinkModel& link = {},
                                 const dfc::hw::CostModel& cost = {});
+
+/// Best contiguous partition using *exactly* `num_devices` devices, each
+/// hosting at least one layer, ignoring resource fit (for scaling studies
+/// and tests that force a device count regardless of utilisation). Same
+/// objective and deterministic tie-breaking as partition_network. Throws
+/// ConfigError when num_devices exceeds the layer count.
+MultiFpgaPlan partition_network_exact(const dfc::core::NetworkSpec& spec,
+                                      std::size_t num_devices,
+                                      const dfc::core::LinkModel& link = {},
+                                      int credits = 0,
+                                      const dfc::hw::CostModel& cost = {});
 
 /// Convenience: BuildOptions carrying the plan's device mapping.
 dfc::core::BuildOptions build_options_for(const MultiFpgaPlan& plan,

@@ -26,11 +26,18 @@
 //                                            SDC / hang
 //   dfcnn dse       <preset> [device]        automated port-plan exploration
 //   dfcnn partition <design> <boards> [device]  multi-FPGA mapping
+//   dfcnn multifpga <design> [--devices N] [--link-gbps X] [--batch B]
+//                                            partition across N simulated
+//                                            boards joined by credit-based
+//                                            serial links and run the batch
+//                                            end to end, checking logits
+//                                            against the single-device engine
 //   dfcnn export    <preset> <out.dfcnn>     save a compiled design artifact
 //
 // <design> is a preset name (usps | cifar | alexnet) or a .dfcnn file saved
 // by `export` / core::save_spec_file. <device> is one of
 // virtex7-485t (default) | virtex7-330t | kintex7-325t.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -45,6 +52,7 @@
 #include "core/spec_io.hpp"
 #include "dse/explorer.hpp"
 #include "hwmodel/power.hpp"
+#include "multifpga/exec.hpp"
 #include "multifpga/partition.hpp"
 #include "obs/perfetto.hpp"
 #include "obs/trace.hpp"
@@ -72,7 +80,9 @@ int usage() {
                "[replicas=2]\n"
                "           [--metrics] [--seed S=7] [--rate R]\n"
                "  faults:  dfcnn faults <design> [--seed S=1] [--trials N=64] [--batch B=4]\n"
-               "           [--no-detect] [--out faults.csv]\n");
+               "           [--no-detect] [--out faults.csv]\n"
+               "  multifpga: dfcnn multifpga <design> [--devices N=2] [--link-gbps X=3.2]\n"
+               "           [--batch B=8]   (1 word/cycle = 3.2 Gbps @100 MHz)\n");
   return 2;
 }
 
@@ -261,6 +271,50 @@ int cmd_partition(const core::NetworkSpec& spec, std::size_t boards,
   return 0;
 }
 
+int cmd_multifpga(const core::NetworkSpec& spec, std::size_t devices, double link_gbps,
+                  std::size_t batch) {
+  DFC_REQUIRE(link_gbps > 0.0, "--link-gbps must be positive");
+  // One 32-bit word per cycle at the paper's 100 MHz clock is 3.2 Gbps; a
+  // slower link serializes each word over proportionally more cycles.
+  const int cycles_per_word =
+      std::max(1, static_cast<int>(3.2 / link_gbps + 0.5));
+  const core::LinkModel link{40, cycles_per_word};
+
+  const auto plan = mfpga::partition_network_exact(spec, devices, link);
+  std::printf("%s", plan.describe(spec).c_str());
+  std::printf("link: %.2f Gbps -> 1 word per %d cycle(s), latency %d cycles\n\n",
+              link_gbps, link.cycles_per_word, link.latency_cycles);
+
+  core::BuildOptions opts;
+  opts.link = link;
+  mfpga::MultiFpgaHarness multi(mfpga::build_multi_fpga(spec, plan.layer_device, opts));
+  core::AcceleratorHarness single(core::build_accelerator(spec));
+
+  const auto images = report::random_images(spec, batch);
+  const auto rm = multi.run_batch(images);
+  const auto rs = single.run_batch(images);
+  DFC_REQUIRE(rm.ok(), "multi-FPGA run did not complete: " + rm.error);
+  DFC_REQUIRE(rs.ok(), "single-device run did not complete");
+
+  const bool identical = rm.outputs == rs.outputs;
+  AsciiTable t({"metric", "multi-FPGA", "single device"});
+  t.add_row({"devices", std::to_string(multi.device_count()), "1"});
+  t.add_row({"total cycles", std::to_string(rm.total_cycles()),
+             std::to_string(rs.total_cycles())});
+  t.add_row({"steady interval (cy)", std::to_string(rm.steady_interval_cycles()),
+             std::to_string(rs.steady_interval_cycles())});
+  t.add_row({"image 0 latency (cy)", std::to_string(rm.image_latency_cycles(0)),
+             std::to_string(rs.image_latency_cycles(0))});
+  t.add_row({"link words/image",
+             std::to_string(multi.accelerator().link_words_transferred() / batch), "-"});
+  std::printf("%s", t.render().c_str());
+  std::printf("predicted interval: %lld cycles/image, measured: %llu\n",
+              static_cast<long long>(plan.timing.interval_cycles),
+              static_cast<unsigned long long>(rm.steady_interval_cycles()));
+  std::printf("logits identical to single-device: %s\n", identical ? "yes" : "NO");
+  return identical ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -344,6 +398,23 @@ int main(int argc, char** argv) {
       if (argc < 4) return usage();
       return cmd_partition(load_design(design), std::stoul(argv[3]),
                            argc > 4 ? argv[4] : "");
+    }
+    if (cmd == "multifpga") {
+      std::size_t devices = 2;
+      double link_gbps = 3.2;
+      std::size_t batch = 8;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--devices") == 0 && i + 1 < argc) {
+          devices = std::stoul(argv[++i]);
+        } else if (std::strcmp(argv[i], "--link-gbps") == 0 && i + 1 < argc) {
+          link_gbps = std::stod(argv[++i]);
+        } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+          batch = std::stoul(argv[++i]);
+        } else {
+          return usage();
+        }
+      }
+      return cmd_multifpga(load_design(design), devices, link_gbps, batch);
     }
     if (cmd == "export") {
       if (argc < 4 || !is_preset(design)) return usage();

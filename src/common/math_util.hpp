@@ -57,9 +57,11 @@ inline std::uint64_t percentile_nearest_rank(std::vector<std::uint64_t> sample, 
   if (sample.empty()) return 0;
   std::sort(sample.begin(), sample.end());
   // rank = ceil(pct/100 * n), clamped to [1, n]; p0 maps to the minimum.
+  // The epsilon keeps exact-integer products (e.g. 99.9% of 2000 = 1998)
+  // from ceiling one rank too high off a one-ulp rounding error.
   const auto n = sample.size();
   std::size_t rank = static_cast<std::size_t>(
-      std::ceil(pct / 100.0 * static_cast<double>(n)));
+      std::ceil(pct / 100.0 * static_cast<double>(n) - 1e-9));
   rank = std::clamp<std::size_t>(rank, 1, n);
   return sample[rank - 1];
 }
@@ -70,6 +72,9 @@ struct LatencyPercentiles {
   std::uint64_t p50 = 0;
   std::uint64_t p95 = 0;
   std::uint64_t p99 = 0;
+  /// p99.9 — the tail that matters at "millions of users" scale. Nearest
+  /// rank: with fewer than 1000 samples it degenerates to the maximum.
+  std::uint64_t p999 = 0;
 };
 
 inline LatencyPercentiles latency_percentiles(std::vector<std::uint64_t> sample) {
@@ -78,12 +83,16 @@ inline LatencyPercentiles latency_percentiles(std::vector<std::uint64_t> sample)
   std::sort(sample.begin(), sample.end());
   const auto n = sample.size();
   auto rank = [n](double pct) {
-    const auto r = static_cast<std::size_t>(std::ceil(pct / 100.0 * static_cast<double>(n)));
+    // Same epsilon as percentile_nearest_rank: exact-integer products must
+    // not ceil one rank high off a one-ulp rounding error.
+    const auto r = static_cast<std::size_t>(
+        std::ceil(pct / 100.0 * static_cast<double>(n) - 1e-9));
     return std::clamp<std::size_t>(r, 1, n) - 1;
   };
   p.p50 = sample[rank(50.0)];
   p.p95 = sample[rank(95.0)];
   p.p99 = sample[rank(99.0)];
+  p.p999 = sample[rank(99.9)];
   return p;
 }
 

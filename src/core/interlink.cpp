@@ -57,7 +57,13 @@ InterLinkTx::InterLinkTx(std::string name, dfc::df::Fifo<Flit>& in, InterLinkWir
 
 void InterLinkTx::on_clock() {
   if (!in_.can_pop() || now() < next_send_cycle_) return;
-  if (wire_.credits_available(now()) <= 0) return;
+  if (wire_.credits_available(now()) <= 0) {
+    // Flit ready, window exhausted: the link itself is the limiter. Counted
+    // only while observing — the activity-aware scheduler would legally
+    // sleep through these cycles, so the counter is exact only then.
+    if (obs_enabled_) ++credit_stalls_;
+    return;
+  }
   wire_.tx_send(in_.pop(), now());
   next_send_cycle_ = now() + static_cast<std::uint64_t>(wire_.model().link.cycles_per_word);
   ++words_;
@@ -78,6 +84,7 @@ std::uint64_t InterLinkTx::wake_cycle() const {
 void InterLinkTx::reset() {
   next_send_cycle_ = 0;
   words_ = 0;
+  credit_stalls_ = 0;
 }
 
 InterLinkRx::InterLinkRx(std::string name, InterLinkWire& wire, dfc::df::Fifo<Flit>& out)

@@ -170,11 +170,30 @@ class InterLinkTx final : public dfc::df::Process {
 
   std::uint64_t words_sent() const { return words_; }
 
+  /// True when a flit is ready to serialize at `now` (input available and the
+  /// serializer pacing allows a send) — attribution probes, start-of-cycle.
+  bool wants_send(std::uint64_t now) const {
+    return in_.can_pop() && now >= next_send_cycle_;
+  }
+
+  /// True while the serializer is still clocking out the previous word.
+  bool serializing(std::uint64_t now) const {
+    return words_ > 0 && now < next_send_cycle_;
+  }
+
+  /// Cycles the Tx sat on a ready flit with zero credits. Counted only while
+  /// the owning context observes (exact under the forced per-cycle
+  /// scheduler); the activity-aware mode sleeps through these cycles.
+  std::uint64_t credit_stall_cycles() const { return credit_stalls_; }
+
+  const dfc::df::FifoBase& input() const { return in_; }
+
  private:
   dfc::df::Fifo<dfc::axis::Flit>& in_;
   InterLinkWire& wire_;
   std::uint64_t next_send_cycle_ = 0;
   std::uint64_t words_ = 0;
+  std::uint64_t credit_stalls_ = 0;
 };
 
 /// Downstream endpoint: moves arrived flits into the device-local ingress
@@ -194,6 +213,14 @@ class InterLinkRx final : public dfc::df::Process {
   void external_event() { notify_external_event(); }
 
   std::uint64_t words_delivered() const { return words_; }
+
+  /// True when an arrived flit cannot be delivered because the ingress FIFO
+  /// is full — attribution probes, start-of-cycle.
+  bool backpressured(std::uint64_t now) const {
+    return wire_.rx_ready(now) && !out_.can_push();
+  }
+
+  const dfc::df::FifoBase& output() const { return out_; }
 
  private:
   InterLinkWire& wire_;

@@ -133,7 +133,9 @@ MultiFpgaAccelerator build_multi_fpga(const dfc::core::NetworkSpec& spec,
   return acc;
 }
 
-MultiFpgaHarness::MultiFpgaHarness(MultiFpgaAccelerator acc) : acc_(std::move(acc)) {}
+MultiFpgaHarness::MultiFpgaHarness(MultiFpgaAccelerator acc) : acc_(std::move(acc)) {
+  trackers_.resize(acc_.wires.size());
+}
 
 void MultiFpgaHarness::reset() {
   for (auto& dev : acc_.devices) {
@@ -141,6 +143,8 @@ void MultiFpgaHarness::reset() {
     dev.ctx->reset_fifo_stats();
   }
   for (auto& w : acc_.wires) w->reset();
+  for (auto& t : trackers_) t.reset();
+  link_cycles_ = 0;
 }
 
 dfc::df::FifoBase* MultiFpgaHarness::find_fifo(const std::string& name) {
@@ -158,9 +162,39 @@ std::string MultiFpgaHarness::fifo_report() const {
               "):\n" + dev.ctx->fifo_report();
   }
   const std::uint64_t now = acc_.devices.front().ctx->cycle();
-  for (const auto& w : acc_.wires) {
-    report += "wire " + w->name() + ": words=" + std::to_string(w->words_transferred()) +
-              (w->idle(now) ? "" : " (in flight)") + "\n";
+  if (!acc_.wires.empty()) {
+    report += "interlink channels (" + std::to_string(acc_.wires.size()) + " wires):\n";
+  }
+  auto fifo_line = [](const char* role, const dfc::df::FifoBase& f) {
+    const dfc::df::FifoStats& st = f.lifetime_stats();
+    return std::string("    ") + role + " " + f.name() + ": " + std::to_string(f.size()) +
+           "/" + std::to_string(f.capacity()) + " (pushes=" + std::to_string(st.pushes) +
+           " pops=" + std::to_string(st.pops) + " max=" + std::to_string(st.max_occupancy) +
+           " full_stalls=" + std::to_string(st.full_stall_cycles) +
+           " empty_stalls=" + std::to_string(st.empty_stall_cycles) + ")\n";
+  };
+  for (std::size_t i = 0; i < acc_.wires.size(); ++i) {
+    const auto& w = *acc_.wires[i];
+    report += "  wire " + w.name() + ": words=" + std::to_string(w.words_transferred()) +
+              " credits=" + std::to_string(w.credits_available(now)) + "/" +
+              std::to_string(w.model().effective_credits()) +
+              " tx_credit_stalls=" + std::to_string(acc_.txs[i]->credit_stall_cycles()) +
+              (w.idle(now) ? "" : " (in flight)") + "\n";
+    // The boundary FIFOs either side of the wire, with the same stall columns
+    // as the per-device tables: the Tx drains the upstream egress FIFO, the
+    // Rx fills the downstream ingress FIFO.
+    report += fifo_line("tx_fifo", acc_.txs[i]->input());
+    report += fifo_line("rx_fifo", acc_.rxs[i]->output());
+  }
+  if (link_cycles_ > 0) {
+    report += "interlink attribution (" + std::to_string(link_cycles_) + " cycles):\n";
+    for (std::size_t i = 0; i < acc_.wires.size(); ++i) {
+      const obs::LinkActivity& a = trackers_[i].counts();
+      report += "  " + acc_.wires[i]->name() + ": wire_busy=" + std::to_string(a.wire_busy) +
+                " credit_stall=" + std::to_string(a.credit_stall) +
+                " rx_backpressure=" + std::to_string(a.rx_backpressure) +
+                " idle=" + std::to_string(a.idle) + "\n";
+    }
   }
   return report;
 }
@@ -175,6 +209,48 @@ void MultiFpgaHarness::attach_traces(const std::vector<obs::TraceSink*>& sinks) 
 
 void MultiFpgaHarness::detach_traces() {
   for (auto& dev : acc_.devices) dev.ctx->attach_trace(nullptr);
+}
+
+void MultiFpgaHarness::attach_link_trace(obs::TraceSink* sink) {
+  DFC_REQUIRE(sink != nullptr, "attach_link_trace needs a sink (detach_link_trace to stop)");
+  DFC_REQUIRE(link_trace_ == nullptr, "a link trace sink is already attached");
+  link_trace_ = sink;
+  link_ids_.clear();
+  link_ids_.reserve(acc_.wires.size());
+  for (const auto& w : acc_.wires) {
+    link_ids_.push_back(sink->register_entity(w->name(), obs::EntityKind::kLink));
+  }
+  link_attr_ = true;
+}
+
+void MultiFpgaHarness::detach_link_trace() {
+  link_trace_ = nullptr;
+  link_ids_.clear();
+}
+
+void MultiFpgaHarness::classify_links(std::uint64_t now) {
+  for (std::size_t i = 0; i < acc_.wires.size(); ++i) {
+    const dfc::core::InterLinkWire& wire = *acc_.wires[i];
+    const dfc::core::InterLinkTx& tx = *acc_.txs[i];
+    const dfc::core::InterLinkRx& rx = *acc_.rxs[i];
+    const int credits = wire.credits_available(now);
+
+    // Priority rx_backpressure > credit_stall > wire_busy: exactly one bucket
+    // per cycle, so the per-link splits sum to link_observed_cycles().
+    obs::LinkState s = obs::LinkState::kIdle;
+    if (rx.backpressured(now)) {
+      s = obs::LinkState::kRxBackpressure;
+    } else if (tx.wants_send(now) && credits <= 0) {
+      s = obs::LinkState::kCreditStall;
+    } else if (tx.wants_send(now) || tx.serializing(now) || wire.has_data()) {
+      s = obs::LinkState::kWireBusy;
+    }
+    obs::TraceSink* trace = link_trace_;
+    const std::uint32_t id = link_ids_.empty() ? 0 : link_ids_[i];
+    trackers_[i].tick(s, now, trace, id);
+    trackers_[i].credits(static_cast<std::uint32_t>(credits < 0 ? 0 : credits), now, trace, id);
+  }
+  ++link_cycles_;
 }
 
 void MultiFpgaHarness::enable_integrity_guards(dfc::df::FaultListener* listener,
@@ -217,6 +293,11 @@ BatchResult MultiFpgaHarness::run_batch(const std::vector<Tensor>& images,
       break;
     }
 
+    // Link attribution reads the start-of-cycle Tx/wire/Rx state: it is the
+    // same on every lockstep schedule, and classifying before the step means
+    // one classification per global cycle actually executed.
+    if (link_attr_) classify_links(now);
+
     // One global cycle: every device steps once. Link latency >= 1
     // guarantees nothing sent this cycle is visible before the next, so the
     // order of this loop cannot influence results.
@@ -233,7 +314,7 @@ BatchResult MultiFpgaHarness::run_batch(const std::vector<Tensor>& images,
               fifo_report();
       break;
     }
-    if (!any_active) {
+    if (!any_active && !link_attr_) {
       // Coordinated fast-forward: only jump when every device can, and only
       // to a cycle no device (or link endpoint, via the Tx/Rx wake hints)
       // wants to act before. Clamped so the global watchdog and the cycle

@@ -30,6 +30,7 @@
 #include "core/builder.hpp"
 #include "core/harness.hpp"
 #include "core/interlink.hpp"
+#include "obs/activity.hpp"
 #include "obs/trace.hpp"
 #include "tensor/tensor.hpp"
 
@@ -118,6 +119,32 @@ class MultiFpgaHarness {
   void attach_traces(const std::vector<obs::TraceSink*>& sinks);
   void detach_traces();
 
+  /// Per-link cycle attribution: classifies every global cycle of the next
+  /// run_batch into credit_stall / wire_busy / rx_backpressure / idle per
+  /// wire (see obs::LinkState). Classification reads start-of-cycle state —
+  /// lockstep-stable, so the splits are byte-identical across thread counts
+  /// — and the buckets sum exactly to link_observed_cycles(). While enabled,
+  /// coordinated fast-forward is suppressed (like SimContext observation) so
+  /// no cycle escapes classification.
+  void set_link_attribution(bool on) { link_attr_ = on || link_trace_ != nullptr; }
+  bool link_attribution() const { return link_attr_; }
+
+  /// Attaches a sink for kLinkState/kLinkCredits events (one kLink entity
+  /// per wire, registered on attach); implies link attribution. The sink may
+  /// be merged with per-device sinks via merge_traces for the cross-board
+  /// Perfetto view.
+  void attach_link_trace(obs::TraceSink* sink);
+  void detach_link_trace();
+
+  /// Attribution results for wire `i` (parallel to accelerator().wires),
+  /// accumulated over the cycles of the last run_batch.
+  const obs::LinkActivity& link_activity(std::size_t i) const {
+    return trackers_.at(i).counts();
+  }
+  /// Global cycles classified during the last run_batch (0 when attribution
+  /// was off). Every classified cycle lands in exactly one bucket per link.
+  std::uint64_t link_observed_cycles() const { return link_cycles_; }
+
   /// Arms/disarms checksum+sequence integrity guards on every FIFO of every
   /// device (link ingress FIFOs included — the fault subsystem's detection
   /// surface for inter-FPGA transfers).
@@ -129,9 +156,16 @@ class MultiFpgaHarness {
 
  private:
   dfc::core::BatchResult collect(std::size_t requested) const;
+  void classify_links(std::uint64_t now);
 
   MultiFpgaAccelerator acc_;
   std::uint64_t idle_limit_ = 100'000;
+
+  bool link_attr_ = false;
+  obs::TraceSink* link_trace_ = nullptr;
+  std::vector<std::uint32_t> link_ids_;      ///< entity ids in link_trace_
+  std::vector<obs::LinkTracker> trackers_;   ///< parallel to acc_.wires
+  std::uint64_t link_cycles_ = 0;
 };
 
 /// Merges per-device trace sinks (recorded in lockstep, so cycle stamps are

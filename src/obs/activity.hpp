@@ -98,4 +98,95 @@ class ActivityTracker {
   bool has_last_ = false;
 };
 
+// ---------------------------------------------------------------------------
+// Inter-device link attribution. Mirrors the core contract: every attributed
+// cycle of a credit-based interlink falls into exactly one bucket, classified
+// from the lockstep-stable start-of-cycle state of the Tx / wire / Rx triple:
+//
+//   rx_backpressure — a flit has arrived at the Rx but the ingress FIFO on
+//                     the downstream board refuses it (the link is a victim
+//                     of downstream congestion; credits pile up in flight).
+//   credit_stall    — the Tx has a flit ready to serialize but no credits:
+//                     the Rx-side window is exhausted, i.e. the link itself
+//                     (latency x bandwidth vs window) is the limiter.
+//   wire_busy       — the link moved or carried data this cycle (Tx
+//                     serializing, flits in flight, or Rx delivering).
+//   idle            — none of the above: nothing to send, nothing in flight.
+//
+// Priority on simultaneous conditions is rx_backpressure > credit_stall >
+// wire_busy, so the buckets sum exactly to the attributed cycle count.
+
+enum class LinkState : std::uint8_t {
+  kIdle = 0,
+  kWireBusy = 1,
+  kCreditStall = 2,
+  kRxBackpressure = 3,
+};
+
+inline const char* link_state_name(LinkState s) {
+  switch (s) {
+    case LinkState::kIdle: return "idle";
+    case LinkState::kWireBusy: return "wire_busy";
+    case LinkState::kCreditStall: return "credit_stall";
+    case LinkState::kRxBackpressure: return "rx_backpressure";
+  }
+  return "?";
+}
+
+/// Cycle totals per bucket. Zero-initialized; reset with `*this = {}`.
+struct LinkActivity {
+  std::uint64_t wire_busy = 0;
+  std::uint64_t credit_stall = 0;
+  std::uint64_t rx_backpressure = 0;
+  std::uint64_t idle = 0;
+
+  std::uint64_t total() const {
+    return wire_busy + credit_stall + rx_backpressure + idle;
+  }
+};
+
+/// Accumulates link buckets and emits kLinkState / kLinkCredits trace events
+/// on change (steady flow costs almost nothing in trace volume).
+class LinkTracker {
+ public:
+  void tick(LinkState s, std::uint64_t cycle, TraceSink* trace, std::uint32_t entity) {
+    switch (s) {
+      case LinkState::kIdle: ++counts_.idle; break;
+      case LinkState::kWireBusy: ++counts_.wire_busy; break;
+      case LinkState::kCreditStall: ++counts_.credit_stall; break;
+      case LinkState::kRxBackpressure: ++counts_.rx_backpressure; break;
+    }
+    if (trace != nullptr && (!has_last_ || s != last_)) {
+      trace->record(entity, EventKind::kLinkState, cycle, static_cast<std::uint32_t>(s));
+    }
+    last_ = s;
+    has_last_ = true;
+  }
+
+  /// Records the available-credit counter when it changes.
+  void credits(std::uint32_t available, std::uint64_t cycle, TraceSink* trace,
+               std::uint32_t entity) {
+    if (trace != nullptr && (!has_credits_ || available != last_credits_)) {
+      trace->record(entity, EventKind::kLinkCredits, cycle, available);
+    }
+    last_credits_ = available;
+    has_credits_ = true;
+  }
+
+  const LinkActivity& counts() const { return counts_; }
+
+  void reset() {
+    counts_ = LinkActivity{};
+    has_last_ = false;
+    has_credits_ = false;
+  }
+
+ private:
+  LinkActivity counts_{};
+  LinkState last_ = LinkState::kIdle;
+  std::uint32_t last_credits_ = 0;
+  bool has_last_ = false;
+  bool has_credits_ = false;
+};
+
 }  // namespace dfc::obs

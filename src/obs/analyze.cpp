@@ -1,0 +1,247 @@
+#include "obs/analyze.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace dfc::obs {
+
+namespace {
+
+std::int64_t per_image(std::uint64_t cycles, std::size_t batch) {
+  if (batch == 0) return 0;
+  return static_cast<std::int64_t>(cycles / batch);
+}
+
+double pct(std::uint64_t part, std::uint64_t total) {
+  if (total == 0) return 0.0;
+  return 100.0 * static_cast<double>(part) / static_cast<double>(total);
+}
+
+std::string limiter_kind(const std::string& stage_name) {
+  if (stage_name == "dma-in") return "ingest";
+  if (stage_name == "dma-out") return "writeback";
+  return "stage";
+}
+
+// Tie-break: at equal score the upstream-most element sets the pace — a
+// downstream stage with the same modeled cost can only be starved by it,
+// which is exactly what its activity split shows when ingest limits (busy II
+// below Eq. 4, starved > 0). DMA endpoints carry no activity counters, so
+// this is the only way the ranking can point at them.
+int kind_priority(const std::string& kind) {
+  if (kind == "ingest") return 0;
+  if (kind == "writeback") return 1;
+  if (kind == "stage") return 2;
+  return 3;  // link
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+BottleneckReport analyze_bottleneck(AnalyzeInput input) {
+  BottleneckReport rep;
+
+  // Candidate scores: cycles/image if this element alone set the pace — the
+  // larger of the Eq. 4 prediction and the observed busy cycles per image.
+  for (const StageSample& st : input.stages) {
+    RankedLimiter rl;
+    rl.name = st.name;
+    rl.kind = limiter_kind(st.name);
+    rl.predicted_cycles = st.predicted_cycles;
+    rl.observed_ii = st.has_activity ? per_image(st.activity.working, input.batch) : 0;
+    rl.score = std::max(rl.predicted_cycles, rl.observed_ii);
+    rep.ranking.push_back(std::move(rl));
+  }
+  for (const LinkSample& ln : input.links) {
+    RankedLimiter rl;
+    rl.name = ln.name;
+    rl.kind = "link";
+    rl.predicted_cycles = ln.predicted_cycles;
+    // A link is busy whenever it moves data or stalls on credits; both are
+    // cycles the pipeline cannot go faster than if the link is the limiter.
+    rl.observed_ii = per_image(ln.activity.wire_busy + ln.activity.credit_stall, input.batch);
+    rl.score = std::max(rl.predicted_cycles, rl.observed_ii);
+    rep.ranking.push_back(std::move(rl));
+  }
+  std::stable_sort(rep.ranking.begin(), rep.ranking.end(),
+                   [](const RankedLimiter& a, const RankedLimiter& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     const int pa = kind_priority(a.kind);
+                     const int pb = kind_priority(b.kind);
+                     if (pa != pb) return pa < pb;
+                     return a.name < b.name;
+                   });
+
+  // Verdict: one line naming the limiter the evidence points at.
+  std::ostringstream v;
+  if (rep.ranking.empty()) {
+    v << "no candidates";
+  } else {
+    const RankedLimiter& top = rep.ranking.front();
+    const std::int64_t pred = input.predicted_interval;
+    const auto obs = static_cast<std::int64_t>(input.observed_interval);
+    if (top.kind == "link") {
+      const LinkSample* link = nullptr;
+      for (const LinkSample& ln : input.links) {
+        if (ln.name == top.name) link = &ln;
+      }
+      v << "link-bound at " << fmt_fixed(link != nullptr ? link->gbps : 0.0, 2) << " Gbps ("
+        << top.name;
+      if (link != nullptr && link->observed_cycles > 0) {
+        v << ": wire_busy " << fmt_fixed(pct(link->activity.wire_busy, link->observed_cycles), 1)
+          << "%, credit_stall "
+          << fmt_fixed(pct(link->activity.credit_stall, link->observed_cycles), 1) << "%";
+      }
+      v << ")";
+    } else if (top.kind == "ingest" || top.kind == "writeback") {
+      v << top.kind << "-bound";
+      if (input.shared_dma_bus && obs > pred) {
+        v << " via shared DMA bus (observed II " << obs << " vs ideal " << pred << ")";
+      } else if (obs > pred) {
+        v << " (observed II " << obs << " vs Eq.4 " << pred << ")";
+      } else {
+        v << " at the ideal " << pred << "-cycle interval";
+      }
+    } else {
+      v << "compute-bound at " << top.name << " (observed II " << top.observed_ii << " vs Eq.4 "
+        << top.predicted_cycles << ")";
+    }
+  }
+  rep.verdict = v.str();
+  rep.input = std::move(input);
+  return rep;
+}
+
+std::string BottleneckReport::render() const {
+  std::ostringstream os;
+  os << "bottleneck analysis: " << input.design << " (" << input.devices << " device"
+     << (input.devices == 1 ? "" : "s") << ", batch " << input.batch << ")\n";
+  os << "Eq.4 predicted II: " << input.predicted_interval
+     << " cycles/image; observed: " << input.observed_interval << "\n";
+  os << "verdict: " << verdict << "\n\n";
+
+  AsciiTable stages({"stage", "eq4 cycles/img", "observed II", "working%", "starved%",
+                     "back-pressured%", "idle%"});
+  for (const StageSample& st : input.stages) {
+    const std::uint64_t total = st.observed_cycles;
+    stages.add_row({st.name, std::to_string(st.predicted_cycles),
+                    st.has_activity
+                        ? std::to_string(per_image(st.activity.working, input.batch))
+                        : "-",
+                    st.has_activity ? fmt_fixed(pct(st.activity.working, total), 1) : "-",
+                    st.has_activity ? fmt_fixed(pct(st.activity.starved, total), 1) : "-",
+                    st.has_activity ? fmt_fixed(pct(st.activity.back_pressured, total), 1) : "-",
+                    st.has_activity ? fmt_fixed(pct(st.activity.idle, total), 1) : "-"});
+  }
+  os << stages.render();
+
+  if (!input.links.empty()) {
+    os << "\n";
+    AsciiTable links({"link", "Gbps", "cycles/img", "wire_busy%", "credit_stall%",
+                      "rx_backpressure%", "idle%"});
+    for (const LinkSample& ln : input.links) {
+      const std::uint64_t total = ln.observed_cycles;
+      links.add_row({ln.name, fmt_fixed(ln.gbps, 2), std::to_string(ln.predicted_cycles),
+                     fmt_fixed(pct(ln.activity.wire_busy, total), 1),
+                     fmt_fixed(pct(ln.activity.credit_stall, total), 1),
+                     fmt_fixed(pct(ln.activity.rx_backpressure, total), 1),
+                     fmt_fixed(pct(ln.activity.idle, total), 1)});
+    }
+    os << links.render();
+  }
+
+  if (!input.fifos.empty()) {
+    os << "\n";
+    AsciiTable fifos({"fifo (most stalled)", "capacity", "max_occ", "full_stalls",
+                      "empty_stalls"});
+    for (const FifoSample& f : input.fifos) {
+      fifos.add_row({f.name, std::to_string(f.capacity), std::to_string(f.max_occupancy),
+                     std::to_string(f.full_stall_cycles),
+                     std::to_string(f.empty_stall_cycles)});
+    }
+    os << fifos.render();
+  }
+
+  os << "\n";
+  AsciiTable rank({"rank", "limiter", "kind", "score (cycles/img)"});
+  const std::size_t top_n = std::min<std::size_t>(ranking.size(), 5);
+  for (std::size_t i = 0; i < top_n; ++i) {
+    rank.add_row({std::to_string(i + 1), ranking[i].name, ranking[i].kind,
+                  std::to_string(ranking[i].score)});
+  }
+  os << rank.render();
+  return os.str();
+}
+
+std::string BottleneckReport::to_json() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"design\": \"" << json_escape(input.design) << "\",\n";
+  os << "  \"devices\": " << input.devices << ",\n";
+  os << "  \"batch\": " << input.batch << ",\n";
+  os << "  \"shared_dma_bus\": " << (input.shared_dma_bus ? "true" : "false") << ",\n";
+  os << "  \"predicted_interval_cycles\": " << input.predicted_interval << ",\n";
+  os << "  \"observed_interval_cycles\": " << input.observed_interval << ",\n";
+  os << "  \"verdict\": \"" << json_escape(verdict) << "\",\n";
+  os << "  \"stages\": [";
+  for (std::size_t i = 0; i < input.stages.size(); ++i) {
+    const StageSample& st = input.stages[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"name\": \"" << json_escape(st.name)
+       << "\", \"predicted_cycles\": " << st.predicted_cycles
+       << ", \"observed_ii\": "
+       << (st.has_activity ? per_image(st.activity.working, input.batch) : 0)
+       << ", \"working\": " << st.activity.working << ", \"starved\": " << st.activity.starved
+       << ", \"back_pressured\": " << st.activity.back_pressured
+       << ", \"idle\": " << st.activity.idle << "}";
+  }
+  os << "\n  ],\n";
+  os << "  \"links\": [";
+  for (std::size_t i = 0; i < input.links.size(); ++i) {
+    const LinkSample& ln = input.links[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"name\": \"" << json_escape(ln.name) << "\", \"gbps\": " << fmt_fixed(ln.gbps, 3)
+       << ", \"predicted_cycles\": " << ln.predicted_cycles
+       << ", \"wire_busy\": " << ln.activity.wire_busy
+       << ", \"credit_stall\": " << ln.activity.credit_stall
+       << ", \"rx_backpressure\": " << ln.activity.rx_backpressure
+       << ", \"idle\": " << ln.activity.idle
+       << ", \"observed_cycles\": " << ln.observed_cycles << "}";
+  }
+  os << "\n  ],\n";
+  os << "  \"fifo_pressure\": [";
+  for (std::size_t i = 0; i < input.fifos.size(); ++i) {
+    const FifoSample& f = input.fifos[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"name\": \"" << json_escape(f.name) << "\", \"capacity\": " << f.capacity
+       << ", \"max_occupancy\": " << f.max_occupancy
+       << ", \"full_stall_cycles\": " << f.full_stall_cycles
+       << ", \"empty_stall_cycles\": " << f.empty_stall_cycles << "}";
+  }
+  os << "\n  ],\n";
+  os << "  \"ranking\": [";
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    const RankedLimiter& rl = ranking[i];
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"rank\": " << (i + 1) << ", \"name\": \"" << json_escape(rl.name)
+       << "\", \"kind\": \"" << rl.kind << "\", \"score\": " << rl.score
+       << ", \"predicted_cycles\": " << rl.predicted_cycles
+       << ", \"observed_ii\": " << rl.observed_ii << "}";
+  }
+  os << "\n  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace dfc::obs

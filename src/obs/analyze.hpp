@@ -1,0 +1,98 @@
+// Bottleneck analyzer: turns raw attribution (per-core stall splits, FIFO
+// stats, per-link cycle splits) plus the Eq. 4 timing model into a ranked
+// explanation of which stage or link limits the achieved initiation
+// interval.
+//
+// The analyzer is a pure function over plain data. It knows nothing about
+// SimContext, harnesses or the DSE layer — callers (the `dfcnn profile` CLI,
+// tests) collect an AnalyzeInput from whatever engine they ran and the
+// analyzer only reasons about it. That keeps it unit-testable with synthetic
+// inputs and keeps src/obs free of upward dependencies.
+//
+// Exactness argument (DESIGN.md §12): every number consumed here is either a
+// deterministic model output (Eq. 4 stage cycles) or an exact attribution
+// bucket (core splits sum to observed cycles, link splits sum to classified
+// global cycles), so the report — ranking, per-stage predicted vs observed
+// II, verdict string — is byte-identical across runs and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/activity.hpp"
+
+namespace dfc::obs {
+
+/// One pipeline stage as the analyzer sees it: the Eq. 4 prediction plus
+/// (for compute cores) the observed activity split. DMA endpoints have no
+/// ActivityTracker, so `has_activity` is false for them and starvation of
+/// the first compute core is their observable symptom.
+struct StageSample {
+  std::string name;                   ///< Eq. 4 stage name ("dma-in", "L0.conv", ...)
+  std::int64_t predicted_cycles = 0;  ///< Eq. 4 cycles/image for this stage
+  bool has_activity = false;
+  CoreActivity activity;              ///< valid when has_activity
+  std::uint64_t observed_cycles = 0;  ///< observed cycles of the owning context
+};
+
+/// One inter-device link: configured bandwidth, serializer cycles per image
+/// over the cut, and the exact per-cycle split from MultiFpgaHarness link
+/// attribution.
+struct LinkSample {
+  std::string name;
+  double gbps = 0.0;                  ///< configured line rate
+  std::int64_t predicted_cycles = 0;  ///< serializer cycles/image over the cut
+  LinkActivity activity;
+  std::uint64_t observed_cycles = 0;  ///< global cycles classified
+};
+
+/// FIFO pressure evidence (who was full/empty and for how long).
+struct FifoSample {
+  std::string name;
+  std::size_t capacity = 0;
+  std::size_t max_occupancy = 0;
+  std::uint64_t full_stall_cycles = 0;
+  std::uint64_t empty_stall_cycles = 0;
+};
+
+struct AnalyzeInput {
+  std::string design;
+  std::size_t devices = 1;
+  std::size_t batch = 0;   ///< images measured
+  bool shared_dma_bus = false;
+  std::int64_t predicted_interval = 0;  ///< Eq. 4 II (max stage cycles)
+  std::uint64_t observed_interval = 0;  ///< measured steady-state II
+  std::vector<StageSample> stages;
+  std::vector<LinkSample> links;
+  std::vector<FifoSample> fifos;
+};
+
+/// One ranked limiter candidate. `score` is cycles/image: the larger of the
+/// Eq. 4 prediction and the observed busy cycles per image, i.e. how slow
+/// the pipeline would run if this element alone set the pace.
+struct RankedLimiter {
+  std::string name;
+  std::string kind;  ///< "ingest" | "writeback" | "stage" | "link"
+  std::int64_t score = 0;
+  std::int64_t predicted_cycles = 0;
+  std::int64_t observed_ii = 0;  ///< busy cycles/image (0 when unobservable)
+};
+
+struct BottleneckReport {
+  AnalyzeInput input;
+  std::vector<RankedLimiter> ranking;  ///< most limiting first
+  std::string verdict;                 ///< one line, e.g. "ingest-bound via shared DMA bus"
+
+  /// ASCII rendering: verdict, Eq. 4-predicted vs observed II per stage,
+  /// link splits, ranking.
+  std::string render() const;
+  /// Deterministic JSON (integer cycles, fixed-point rates) for tooling/CI.
+  std::string to_json() const;
+};
+
+/// Ranks limiter candidates and derives the verdict. Pure and deterministic:
+/// same input, same report, regardless of threads or machine.
+BottleneckReport analyze_bottleneck(AnalyzeInput input);
+
+}  // namespace dfc::obs

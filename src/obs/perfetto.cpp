@@ -14,6 +14,18 @@ namespace {
 // handles for the Perfetto UI, not OS processes.
 constexpr int kCorePid = 1;
 constexpr int kFifoPid = 2;
+constexpr int kServePid = 3;
+constexpr int kLinkPid = 4;
+
+int entity_pid(EntityKind kind) {
+  switch (kind) {
+    case EntityKind::kFifo: return kFifoPid;
+    case EntityKind::kProcess: return kCorePid;
+    case EntityKind::kLink: return kLinkPid;
+    case EntityKind::kServe: return kServePid;
+  }
+  return kCorePid;
+}
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -69,10 +81,22 @@ class EventWriter {
     raw(l.str());
   }
 
-  void counter(int pid, std::uint64_t ts, const std::string& name, std::uint64_t value) {
+  void counter(int pid, std::uint64_t ts, const std::string& name, std::uint64_t value,
+               const char* arg = "occupancy") {
     std::ostringstream l;
     l << "{\"ph\":\"C\",\"pid\":" << pid << ",\"ts\":" << ts << ",\"name\":\""
-      << json_escape(name) << "\",\"args\":{\"occupancy\":" << value << "}}";
+      << json_escape(name) << "\",\"args\":{\"" << arg << "\":" << value << "}}";
+    raw(l.str());
+  }
+
+  /// Async begin/end ("b"/"e"): spans of different requests overlap on one
+  /// serve track, so they pair up by (cat, id) instead of stack nesting.
+  void async_span(char phase, int pid, int tid, std::uint64_t ts, const char* cat,
+                  std::uint32_t id, const std::string& name) {
+    std::ostringstream l;
+    l << "{\"ph\":\"" << phase << "\",\"pid\":" << pid << ",\"tid\":" << tid
+      << ",\"ts\":" << ts << ",\"id\":" << id << ",\"cat\":\"" << cat
+      << "\",\"name\":\"" << json_escape(name) << "\"}";
     raw(l.str());
   }
 
@@ -110,11 +134,20 @@ void write_perfetto_trace(const TraceSink& sink, std::ostream& os) {
 
   w.meta(kCorePid, -1, "process_name", "cores");
   w.meta(kFifoPid, -1, "process_name", "fifos");
+  bool have_serve = false;
+  bool have_link = false;
+  for (std::uint32_t id = 0; id < entities.size(); ++id) {
+    if (by_entity[id].empty()) continue;
+    have_serve = have_serve || entities[id].kind == EntityKind::kServe;
+    have_link = have_link || entities[id].kind == EntityKind::kLink;
+  }
+  if (have_serve) w.meta(kServePid, -1, "process_name", "serve");
+  if (have_link) w.meta(kLinkPid, -1, "process_name", "links");
 
   for (std::uint32_t id = 0; id < entities.size(); ++id) {
     const TraceEntity& e = entities[id];
     if (by_entity[id].empty()) continue;  // silent entity: no track
-    const int pid = e.kind == EntityKind::kFifo ? kFifoPid : kCorePid;
+    const int pid = entity_pid(e.kind);
     const int tid = static_cast<int>(id) + 1;
     w.meta(pid, tid, "thread_name", e.name);
     w.sort_index(pid, tid, id);
@@ -162,6 +195,59 @@ void write_perfetto_trace(const TraceSink& sink, std::ostream& os) {
             break;
           default:
             break;  // FIFO kinds never carry a process entity
+        }
+      }
+      close_run(end_cycle);
+      continue;
+    }
+
+    if (e.kind == EntityKind::kServe) {
+      // Serve-layer spans: async begin/end pairs keyed by (phase, id) so
+      // overlapping requests share one track; sheds become 1-cycle markers.
+      for (std::size_t i : idx) {
+        const TraceEvent& ev = events[i];
+        if (ev.kind != EventKind::kSpanBegin && ev.kind != EventKind::kSpanEnd) continue;
+        const SpanPhase phase = span_phase(ev.value);
+        const std::uint32_t sid = span_id(ev.value);
+        if (phase == SpanPhase::kShed) {
+          if (ev.kind == EventKind::kSpanBegin) {
+            w.slice(kServePid, tid, ev.cycle, 1, "shed " + std::to_string(sid));
+          }
+          continue;
+        }
+        const char ph = ev.kind == EventKind::kSpanBegin ? 'b' : 'e';
+        w.async_span(ph, kServePid, tid, ev.cycle, span_phase_name(phase), sid,
+                     std::string(span_phase_name(phase)) + " " + std::to_string(sid));
+      }
+      continue;
+    }
+
+    if (e.kind == EntityKind::kLink) {
+      // Interlink: attribution-state slices (idle = gap) + available-credit
+      // counter, both emitted on change by the LinkTracker.
+      const std::string credit_name = e.name + " credits";
+      bool open = false;
+      LinkState open_state = LinkState::kIdle;
+      std::uint64_t open_since = 0;
+      auto close_run = [&](std::uint64_t at) {
+        if (open && open_state != LinkState::kIdle && at > open_since) {
+          w.slice(kLinkPid, tid, open_since, at - open_since, link_state_name(open_state));
+        }
+      };
+      for (std::size_t i : idx) {
+        const TraceEvent& ev = events[i];
+        switch (ev.kind) {
+          case EventKind::kLinkState:
+            close_run(ev.cycle);
+            open = true;
+            open_state = static_cast<LinkState>(ev.value);
+            open_since = ev.cycle;
+            break;
+          case EventKind::kLinkCredits:
+            w.counter(kLinkPid, ev.cycle, credit_name, ev.value, "credits");
+            break;
+          default:
+            break;
         }
       }
       close_run(end_cycle);

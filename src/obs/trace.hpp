@@ -40,10 +40,49 @@ enum class EventKind : std::uint8_t {
   kImageDone = 6,   ///< DMA sink received the last word of image `value`
   kFaultInject = 7,  ///< fault injector mutated this entity (value: FaultKind)
   kFaultDetect = 8,  ///< an integrity guard fired on this entity (value: detector id)
+  kLinkState = 9,    ///< an interlink's attribution class changed (value: LinkState)
+  kLinkCredits = 10, ///< an interlink's available-credit count changed (value: credits)
+  kSpanBegin = 11,   ///< serve-layer span opened (value: span_value(phase, id))
+  kSpanEnd = 12,     ///< serve-layer span closed (value: span_value(phase, id))
 };
 
-/// Is the entity a channel or a module? Determines its Perfetto track group.
-enum class EntityKind : std::uint8_t { kFifo = 0, kProcess = 1 };
+/// Is the entity a channel, a module, an inter-device link, or a serve-layer
+/// track? Determines its Perfetto track group (pid).
+enum class EntityKind : std::uint8_t { kFifo = 0, kProcess = 1, kLink = 2, kServe = 3 };
+
+/// Serve-layer span phases. The phase travels in the top 4 bits of the event
+/// value so begin/end pairs for the same request/batch id match up even when
+/// spans of different requests interleave on one entity.
+enum class SpanPhase : std::uint8_t {
+  kQueued = 0,    ///< request admitted -> dispatched (id: request id)
+  kExecute = 1,   ///< request dispatched -> completed (id: request id)
+  kAssemble = 2,  ///< oldest rider's arrival -> batch dispatch (id: batch id)
+  kBatch = 3,     ///< batch dispatch -> completion on a replica (id: batch id)
+  kShed = 4,      ///< request rejected by admission control (id: request id)
+};
+
+inline const char* span_phase_name(SpanPhase p) {
+  switch (p) {
+    case SpanPhase::kQueued: return "queued";
+    case SpanPhase::kExecute: return "execute";
+    case SpanPhase::kAssemble: return "assemble";
+    case SpanPhase::kBatch: return "batch";
+    case SpanPhase::kShed: return "shed";
+  }
+  return "?";
+}
+
+/// Packs a span phase + request/batch id into a 32-bit event value. Ids are
+/// truncated to 28 bits — serving runs of > 268M requests would wrap, which
+/// is far beyond any simulated batch.
+inline std::uint32_t span_value(SpanPhase phase, std::uint64_t id) {
+  return (static_cast<std::uint32_t>(phase) << 28) |
+         (static_cast<std::uint32_t>(id) & 0x0FFFFFFFu);
+}
+inline SpanPhase span_phase(std::uint32_t value) {
+  return static_cast<SpanPhase>(value >> 28);
+}
+inline std::uint32_t span_id(std::uint32_t value) { return value & 0x0FFFFFFFu; }
 
 /// One trace record. 16 bytes; a few million of these cover a full batch.
 struct TraceEvent {

@@ -1,0 +1,175 @@
+#include "report/profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/harness.hpp"
+#include "dse/throughput_model.hpp"
+#include "multifpga/exec.hpp"
+#include "multifpga/partition.hpp"
+#include "report/experiments.hpp"
+
+namespace dfc::report {
+
+namespace {
+
+// A measured core row: its (possibly fpga-prefixed) name, activity split and
+// the observed-cycle total of the context it lives in.
+struct CoreRow {
+  std::string name;
+  dfc::obs::CoreActivity activity;
+  std::uint64_t observed_cycles = 0;
+};
+
+std::string strip_device_prefix(const std::string& name) {
+  if (name.rfind("fpga", 0) != 0) return name;
+  const std::size_t dot = name.find('.');
+  return dot == std::string::npos ? name : name.substr(dot + 1);
+}
+
+// Maps Eq. 4 stages to measured cores. A stage like "L1.pool" may fan out to
+// several parallel cores ("L1.pool0", "L1.pool1"); the slowest (most working
+// cycles) one represents the stage — parallel units split the work, so the
+// busiest port is the stage's real pace-setter.
+std::vector<dfc::obs::StageSample> build_stage_samples(
+    const dfc::dse::TimingEstimate& est, const std::vector<CoreRow>& rows) {
+  std::vector<dfc::obs::StageSample> stages;
+  stages.reserve(est.stages.size());
+  for (const auto& st : est.stages) {
+    dfc::obs::StageSample sample;
+    sample.name = st.name;
+    sample.predicted_cycles = st.cycles_per_image;
+    for (const CoreRow& row : rows) {
+      const std::string local = strip_device_prefix(row.name);
+      if (local.rfind(st.name, 0) != 0) continue;
+      if (!sample.has_activity || row.activity.working > sample.activity.working) {
+        sample.has_activity = true;
+        sample.activity = row.activity;
+        sample.observed_cycles = row.observed_cycles;
+      }
+    }
+    stages.push_back(std::move(sample));
+  }
+  return stages;
+}
+
+// FIFO pressure evidence: the most-stalled channels, capped so the report
+// stays readable. Deterministic order (stall total desc, then name).
+std::vector<dfc::obs::FifoSample> build_fifo_samples(
+    const std::vector<const dfc::df::SimContext*>& contexts) {
+  std::vector<dfc::obs::FifoSample> fifos;
+  for (const dfc::df::SimContext* ctx : contexts) {
+    for (std::size_t i = 0; i < ctx->fifo_count(); ++i) {
+      const dfc::df::FifoBase& f = ctx->fifo(i);
+      const auto& st = f.lifetime_stats();
+      if (st.full_stall_cycles + st.empty_stall_cycles == 0) continue;
+      fifos.push_back({f.name(), f.capacity(), st.max_occupancy, st.full_stall_cycles,
+                       st.empty_stall_cycles});
+    }
+  }
+  std::sort(fifos.begin(), fifos.end(),
+            [](const dfc::obs::FifoSample& a, const dfc::obs::FifoSample& b) {
+              const std::uint64_t sa = a.full_stall_cycles + a.empty_stall_cycles;
+              const std::uint64_t sb = b.full_stall_cycles + b.empty_stall_cycles;
+              if (sa != sb) return sa > sb;
+              return a.name < b.name;
+            });
+  if (fifos.size() > 8) fifos.resize(8);
+  return fifos;
+}
+
+void append_core_rows(const dfc::core::SegmentCores& cores, std::uint64_t observed,
+                      std::vector<CoreRow>& rows) {
+  for (const auto* c : cores.conv_cores) rows.push_back({c->name(), c->activity(), observed});
+  for (const auto* c : cores.pool_cores) rows.push_back({c->name(), c->activity(), observed});
+  for (const auto* c : cores.fcn_cores) rows.push_back({c->name(), c->activity(), observed});
+}
+
+}  // namespace
+
+obs::BottleneckReport profile_design(const dfc::core::NetworkSpec& spec,
+                                     const ProfileOptions& options) {
+  DFC_REQUIRE(options.batch > 0, "profile needs a positive batch");
+  DFC_REQUIRE(options.devices >= 1, "profile needs at least one device");
+  DFC_REQUIRE(options.link_gbps > 0.0, "link_gbps must be positive");
+
+  const dfc::dse::TimingEstimate est = dfc::dse::estimate_timing(spec);
+  const std::vector<Tensor> images = random_images(spec, options.batch);
+
+  obs::AnalyzeInput in;
+  in.design = spec.name;
+  in.batch = options.batch;
+  in.predicted_interval = est.interval_cycles;
+
+  if (options.devices == 1) {
+    dfc::core::AcceleratorHarness harness(dfc::core::build_accelerator(spec, options.build));
+    dfc::core::Accelerator& acc = harness.accelerator();
+    acc.ctx->set_stall_accounting(true);
+    const dfc::core::BatchResult result = harness.run_batch(images);
+    DFC_REQUIRE(result.ok(), "profile run did not complete: " + result.error);
+
+    in.devices = 1;
+    in.shared_dma_bus = options.build.dma_shared_bus;
+    in.observed_interval = result.steady_interval_cycles();
+
+    std::vector<CoreRow> rows;
+    const std::uint64_t observed = acc.ctx->observed_cycles();
+    for (const auto* c : acc.conv_cores) rows.push_back({c->name(), c->activity(), observed});
+    for (const auto* c : acc.pool_cores) rows.push_back({c->name(), c->activity(), observed});
+    for (const auto* c : acc.fcn_cores) rows.push_back({c->name(), c->activity(), observed});
+    in.stages = build_stage_samples(est, rows);
+    in.fifos = build_fifo_samples({acc.ctx.get()});
+    return obs::analyze_bottleneck(std::move(in));
+  }
+
+  // Multi-device: partition, run in lockstep with per-board stall accounting
+  // and per-link attribution armed.
+  const int cycles_per_word = std::max(1, static_cast<int>(3.2 / options.link_gbps + 0.5));
+  const dfc::core::LinkModel link{40, cycles_per_word};
+  const auto plan =
+      dfc::mfpga::partition_network_exact(spec, options.devices, link, options.link_credits);
+  dfc::core::BuildOptions build = options.build;
+  build.link = link;
+  dfc::mfpga::MultiFpgaHarness harness(
+      dfc::mfpga::build_multi_fpga(spec, plan.layer_device, build, options.link_credits));
+  for (std::size_t d = 0; d < harness.device_count(); ++d) {
+    harness.device_context(d).set_stall_accounting(true);
+  }
+  harness.set_link_attribution(true);
+  const dfc::core::BatchResult result = harness.run_batch(images);
+  DFC_REQUIRE(result.ok(), "multi-FPGA profile run did not complete: " + result.error);
+
+  const dfc::mfpga::MultiFpgaAccelerator& acc = harness.accelerator();
+  in.devices = harness.device_count();
+  // Boards get private DMA buses (source on the first, sink on the last), so
+  // the shared-bus contention verdict only applies to the single-device case.
+  in.shared_dma_bus = options.build.dma_shared_bus && in.devices == 1;
+  in.observed_interval = result.steady_interval_cycles();
+
+  std::vector<CoreRow> rows;
+  std::vector<const dfc::df::SimContext*> contexts;
+  for (const auto& dev : acc.devices) {
+    append_core_rows(dev.cores, dev.ctx->observed_cycles(), rows);
+    contexts.push_back(dev.ctx.get());
+  }
+  in.stages = build_stage_samples(est, rows);
+  in.fifos = build_fifo_samples(contexts);
+
+  const double gbps = 3.2 / cycles_per_word;
+  for (std::size_t i = 0; i < acc.wires.size(); ++i) {
+    obs::LinkSample ls;
+    ls.name = acc.wires[i]->name();
+    ls.gbps = gbps;
+    ls.predicted_cycles = static_cast<std::int64_t>(
+        acc.wires[i]->words_transferred() / options.batch * cycles_per_word);
+    ls.activity = harness.link_activity(i);
+    ls.observed_cycles = harness.link_observed_cycles();
+    in.links.push_back(std::move(ls));
+  }
+  return obs::analyze_bottleneck(std::move(in));
+}
+
+}  // namespace dfc::report

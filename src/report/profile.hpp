@@ -1,0 +1,33 @@
+// Profile assembly: runs a design with observation enabled (single-device
+// stall accounting, or per-board stall accounting + link attribution on the
+// multi-FPGA executor), collects the Eq. 4 prediction, core splits, FIFO
+// pressure and link splits into an obs::AnalyzeInput, and hands it to the
+// bottleneck analyzer. This is the engine behind `dfcnn profile`.
+#pragma once
+
+#include <cstddef>
+
+#include "core/builder.hpp"
+#include "obs/analyze.hpp"
+
+namespace dfc::report {
+
+struct ProfileOptions {
+  std::size_t devices = 1;
+  std::size_t batch = 16;
+  /// Inter-device line rate; 3.2 Gbps = one 32-bit word per 100 MHz cycle.
+  double link_gbps = 3.2;
+  int link_credits = 0;  ///< 0 = auto-sized window
+  /// Build options for the design (shared DMA bus on by default, as in the
+  /// paper reproduction). `build.link` is overridden from link_gbps for
+  /// multi-device runs.
+  dfc::core::BuildOptions build{};
+};
+
+/// Runs `spec` under observation and explains what limits its initiation
+/// interval. Deterministic: same spec + options give a byte-identical report
+/// on any machine and DFCNN_SWEEP_THREADS setting.
+obs::BottleneckReport profile_design(const dfc::core::NetworkSpec& spec,
+                                     const ProfileOptions& options = {});
+
+}  // namespace dfc::report

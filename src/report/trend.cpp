@@ -1,0 +1,203 @@
+#include "report/trend.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace dfc::report {
+
+namespace {
+
+// Minimal parser for the flat JSON subset to_json emits: one object with
+// string/number fields and one array of {string, number} objects. No escapes
+// beyond \" and \\ (labels and bench names never need more), no nesting
+// beyond the benches array. Dependency-free on purpose — the container has
+// no JSON library and the schema is ours.
+struct Cursor {
+  const std::string& s;
+  std::size_t i = 0;
+
+  void skip_ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r')) ++i;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return i < s.size() && s[i] == c;
+  }
+  void expect(char c) {
+    skip_ws();
+    DFC_REQUIRE(i < s.size() && s[i] == c,
+                std::string("trend JSON: expected '") + c + "' at offset " + std::to_string(i));
+    ++i;
+  }
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\' && i + 1 < s.size()) ++i;
+      out += s[i++];
+    }
+    expect('"');
+    return out;
+  }
+  double parse_number() {
+    skip_ws();
+    const std::size_t start = i;
+    while (i < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '-' || s[i] == '+' ||
+            s[i] == '.' || s[i] == 'e' || s[i] == 'E')) {
+      ++i;
+    }
+    DFC_REQUIRE(i > start, "trend JSON: expected a number at offset " + std::to_string(start));
+    return std::stod(s.substr(start, i - start));
+  }
+};
+
+TrendEntry parse_bench(Cursor& c) {
+  TrendEntry e;
+  bool have_name = false;
+  bool have_ms = false;
+  c.expect('{');
+  while (!c.peek('}')) {
+    const std::string key = c.parse_string();
+    c.expect(':');
+    if (key == "name") {
+      e.name = c.parse_string();
+      have_name = true;
+    } else if (key == "wall_ms") {
+      e.wall_ms = c.parse_number();
+      have_ms = true;
+    } else {
+      DFC_REQUIRE(false, "trend JSON: unknown bench field \"" + key + "\"");
+    }
+    if (c.peek(',')) c.expect(',');
+  }
+  c.expect('}');
+  DFC_REQUIRE(have_name && have_ms, "trend JSON: bench needs name and wall_ms");
+  return e;
+}
+
+}  // namespace
+
+std::string TrendSnapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"label\": \"" << label << "\",\n";
+  os << "  \"calibration_ms\": " << fmt_fixed(calibration_ms, 3) << ",\n";
+  os << "  \"benches\": [";
+  for (std::size_t i = 0; i < benches.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n");
+    os << "    {\"name\": \"" << benches[i].name << "\", \"wall_ms\": "
+       << fmt_fixed(benches[i].wall_ms, 3) << "}";
+  }
+  os << "\n  ]\n";
+  os << "}\n";
+  return os.str();
+}
+
+TrendSnapshot TrendSnapshot::from_json(const std::string& text) {
+  TrendSnapshot snap;
+  bool have_label = false;
+  bool have_cal = false;
+  Cursor c{text};
+  c.expect('{');
+  while (!c.peek('}')) {
+    const std::string key = c.parse_string();
+    c.expect(':');
+    if (key == "label") {
+      snap.label = c.parse_string();
+      have_label = true;
+    } else if (key == "calibration_ms") {
+      snap.calibration_ms = c.parse_number();
+      have_cal = true;
+    } else if (key == "benches") {
+      c.expect('[');
+      while (!c.peek(']')) {
+        snap.benches.push_back(parse_bench(c));
+        if (c.peek(',')) c.expect(',');
+      }
+      c.expect(']');
+    } else {
+      DFC_REQUIRE(false, "trend JSON: unknown field \"" + key + "\"");
+    }
+    if (c.peek(',')) c.expect(',');
+  }
+  c.expect('}');
+  DFC_REQUIRE(have_label && have_cal, "trend JSON: snapshot needs label and calibration_ms");
+  DFC_REQUIRE(snap.calibration_ms > 0.0, "trend JSON: calibration_ms must be positive");
+  return snap;
+}
+
+TrendComparison compare_trend(const TrendSnapshot& base, const TrendSnapshot& current,
+                              double max_regress_frac, double min_wall_ms) {
+  DFC_REQUIRE(base.calibration_ms > 0.0 && current.calibration_ms > 0.0,
+              "trend compare needs positive calibrations");
+  TrendComparison cmp;
+  cmp.max_regress_frac = max_regress_frac;
+  for (const TrendEntry& b : base.benches) {
+    TrendRow row;
+    row.name = b.name;
+    row.base_ms = b.wall_ms;
+    row.base_norm = b.wall_ms / base.calibration_ms;
+    const auto it = std::find_if(current.benches.begin(), current.benches.end(),
+                                 [&](const TrendEntry& e) { return e.name == b.name; });
+    if (it == current.benches.end()) {
+      row.missing = true;
+      cmp.ok = false;
+    } else {
+      row.current_ms = it->wall_ms;
+      row.current_norm = it->wall_ms / current.calibration_ms;
+      row.ratio = row.base_norm > 0.0 ? row.current_norm / row.base_norm : 0.0;
+      row.regressed =
+          row.ratio > 1.0 + max_regress_frac && row.current_ms >= min_wall_ms;
+      if (row.regressed) cmp.ok = false;
+    }
+    cmp.rows.push_back(std::move(row));
+  }
+  return cmp;
+}
+
+std::string TrendComparison::render() const {
+  std::ostringstream os;
+  AsciiTable t({"bench", "base ms", "cur ms", "base norm", "cur norm", "ratio", "status"});
+  for (const TrendRow& r : rows) {
+    if (r.missing) {
+      t.add_row({r.name, fmt_fixed(r.base_ms, 1), "-", fmt_fixed(r.base_norm, 3), "-", "-",
+                 "MISSING"});
+      continue;
+    }
+    t.add_row({r.name, fmt_fixed(r.base_ms, 1), fmt_fixed(r.current_ms, 1),
+               fmt_fixed(r.base_norm, 3), fmt_fixed(r.current_norm, 3), fmt_fixed(r.ratio, 3),
+               r.regressed ? "REGRESSED" : "ok"});
+  }
+  os << t.render();
+  os << (ok ? "trend: OK" : "trend: FAIL") << " (threshold +"
+     << fmt_fixed(max_regress_frac * 100.0, 0) << "% normalized)\n";
+  return os.str();
+}
+
+double run_calibration() {
+  // Fixed xorshift64 spin: identical arithmetic on every machine, so the
+  // wall time measures machine speed and nothing else.
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t x = 0x9e3779b97f4a7c15ULL;
+  std::uint64_t acc = 0;
+  for (std::uint64_t i = 0; i < 120'000'000ULL; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    acc += x;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  // Keep the loop observable so the optimizer cannot delete it.
+  volatile std::uint64_t sink = acc;
+  (void)sink;
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace dfc::report

@@ -1,0 +1,72 @@
+// Performance-trajectory tracking across PRs (ROADMAP: "commit per-PR
+// snapshots and trend wall-clock across PRs so a >10% regression of any hot
+// bench fails CI").
+//
+// Wall-clock comparisons across machines are meaningless in absolute terms,
+// so every snapshot carries a *calibration*: the wall time of a fixed,
+// deterministic arithmetic workload on the machine that took the snapshot.
+// Bench times are compared as calibration-normalized ratios — "this bench
+// costs 4.2 calibration units" travels between a laptop and a CI runner,
+// raw milliseconds do not.
+//
+// The trend tool (tools/dfcnn_trend.cpp) measures the hot benches, writes
+// snapshots under bench/history/<label>.json, and `check`s the current run
+// against the latest committed snapshot; CI fails when any hot bench's
+// normalized cost grows more than the threshold (default 10%).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dfc::report {
+
+struct TrendEntry {
+  std::string name;
+  double wall_ms = 0.0;
+};
+
+/// One committed performance snapshot: machine yardstick + hot-bench times.
+struct TrendSnapshot {
+  std::string label;            ///< e.g. "pr0008"
+  double calibration_ms = 0.0;  ///< run_calibration() on the snapshot machine
+  std::vector<TrendEntry> benches;
+
+  std::string to_json() const;
+  /// Parses a snapshot previously written by to_json (a small flat JSON
+  /// subset: one object, string/number fields, one array of objects).
+  /// Throws on malformed input or missing fields.
+  static TrendSnapshot from_json(const std::string& text);
+};
+
+struct TrendRow {
+  std::string name;
+  double base_ms = 0.0;
+  double current_ms = 0.0;
+  double base_norm = 0.0;     ///< base_ms / base calibration
+  double current_norm = 0.0;  ///< current_ms / current calibration
+  double ratio = 0.0;         ///< current_norm / base_norm
+  bool regressed = false;
+  bool missing = false;  ///< bench in the baseline but absent from current
+};
+
+struct TrendComparison {
+  std::vector<TrendRow> rows;  ///< baseline bench order
+  bool ok = true;              ///< no regression, nothing missing
+  double max_regress_frac = 0.0;
+  std::string render() const;
+};
+
+/// Compares calibration-normalized wall times. A bench regresses when its
+/// normalized cost exceeds the baseline's by more than `max_regress_frac`
+/// AND its absolute wall time is at least `min_wall_ms` (sub-noise benches
+/// cannot fail the gate on timer jitter). A baseline bench missing from
+/// `current` also fails — silently dropping a bench must not pass.
+TrendComparison compare_trend(const TrendSnapshot& base, const TrendSnapshot& current,
+                              double max_regress_frac = 0.10, double min_wall_ms = 20.0);
+
+/// The machine-speed yardstick: a fixed xorshift/accumulate spin workload,
+/// returning its wall time in milliseconds. Same arithmetic on every
+/// machine; only the wall time varies.
+double run_calibration();
+
+}  // namespace dfc::report

@@ -20,9 +20,11 @@ std::string ServeStats::render() const {
   t.add_row({"p50 latency (cycles)", std::to_string(p50_latency_cycles)});
   t.add_row({"p95 latency (cycles)", std::to_string(p95_latency_cycles)});
   t.add_row({"p99 latency (cycles)", std::to_string(p99_latency_cycles)});
+  t.add_row({"p99.9 latency (cycles)", std::to_string(p999_latency_cycles)});
   t.add_row({"p50 latency (us)", fmt_fixed(us(static_cast<double>(p50_latency_cycles)), 3)});
   t.add_row({"p95 latency (us)", fmt_fixed(us(static_cast<double>(p95_latency_cycles)), 3)});
   t.add_row({"p99 latency (us)", fmt_fixed(us(static_cast<double>(p99_latency_cycles)), 3)});
+  t.add_row({"p99.9 latency (us)", fmt_fixed(us(static_cast<double>(p999_latency_cycles)), 3)});
   t.add_row({"mean latency (us)", fmt_fixed(us(mean_latency_cycles), 3)});
   t.add_row({"makespan (cycles)", std::to_string(makespan_cycles)});
   // Resilience rows only appear once faults were in play, so the fault-free

@@ -67,6 +67,8 @@ struct ServeStats {
   std::uint64_t p50_latency_cycles = 0;
   std::uint64_t p95_latency_cycles = 0;
   std::uint64_t p99_latency_cycles = 0;
+  /// Nearest-rank p99.9 (degenerates to the max below 1000 samples).
+  std::uint64_t p999_latency_cycles = 0;
   double mean_latency_cycles = 0.0;
 
   std::uint64_t makespan_cycles = 0;  ///< first arrival -> last completion

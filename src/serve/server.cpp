@@ -76,6 +76,7 @@ ServeStats summarize(const std::vector<Request>& requests,
   s.p50_latency_cycles = lp.p50;
   s.p95_latency_cycles = lp.p95;
   s.p99_latency_cycles = lp.p99;
+  s.p999_latency_cycles = lp.p999;
   s.mean_latency_cycles =
       latencies.empty() ? 0.0 : latency_sum / static_cast<double>(latencies.size());
   return s;
@@ -170,6 +171,28 @@ ServeReport plan_serving(const std::vector<Request>& requests, const ServeConfig
                                                   "Replicas removed from the pool");
     }
   }
+
+  // Optional request-lifecycle spans. One shared track for request phases
+  // (async begin/end pairs keyed by phase + id, so overlapping requests
+  // coexist), one for batch assembly, one per replica. Entities are
+  // registered lazily here so an unused sink stays empty.
+  obs::TraceSink* trace = config.trace;
+  std::uint32_t req_entity = 0;
+  std::uint32_t batcher_entity = 0;
+  std::vector<std::uint32_t> replica_entities;
+  if (trace != nullptr) {
+    req_entity = trace->register_entity("serve.requests", obs::EntityKind::kServe);
+    batcher_entity = trace->register_entity("serve.batcher", obs::EntityKind::kServe);
+    replica_entities.reserve(config.replicas);
+    for (std::size_t r = 0; r < config.replicas; ++r) {
+      replica_entities.push_back(
+          trace->register_entity("serve.replica" + std::to_string(r), obs::EntityKind::kServe));
+    }
+  }
+  auto span = [&](std::uint32_t entity, obs::EventKind kind, std::uint64_t cycle,
+                  obs::SpanPhase phase, std::uint64_t id) {
+    if (trace != nullptr) trace->record(entity, kind, cycle, obs::span_value(phase, id));
+  };
 
   // Periodic CSV snapshots of the registry, stamped with the fabric cycle.
   std::unique_ptr<CsvWriter> snapshot_csv;
@@ -291,6 +314,7 @@ ServeReport plan_serving(const std::vector<Request>& requests, const ServeConfig
       rec.id = report.batch_records.size();
       rec.replica = replica;
       rec.dispatch_cycle = now;
+      const std::uint64_t assemble_from = *oldest;
       const std::size_t k = batcher.take_count(queue.size());
       rec.completion_cycle = now + service_table[k - 1];
       if (fault_mode) {
@@ -314,6 +338,24 @@ ServeReport plan_serving(const std::vector<Request>& requests, const ServeConfig
         o.completion_cycle = rec.completion_cycle;
         o.batch_id = rec.id;
         o.replica = replica;
+        // The queued span closes at dispatch and execute runs to the known
+        // completion (or kill) cycle — together they cover arrival ->
+        // completion with no gap, the span-exactness contract.
+        span(req_entity, obs::EventKind::kSpanEnd, now, obs::SpanPhase::kQueued, r.id);
+        span(req_entity, obs::EventKind::kSpanBegin, now, obs::SpanPhase::kExecute, r.id);
+        span(req_entity, obs::EventKind::kSpanEnd, rec.completion_cycle,
+             obs::SpanPhase::kExecute, r.id);
+      }
+      if (trace != nullptr) {
+        // Assembly: the oldest rider's wait defines how long the batch took
+        // to fill; the replica track shows the service interval.
+        span(batcher_entity, obs::EventKind::kSpanBegin, assemble_from,
+             obs::SpanPhase::kAssemble, rec.id);
+        span(batcher_entity, obs::EventKind::kSpanEnd, now, obs::SpanPhase::kAssemble, rec.id);
+        span(replica_entities[replica], obs::EventKind::kSpanBegin, now,
+             obs::SpanPhase::kBatch, rec.id);
+        span(replica_entities[replica], obs::EventKind::kSpanEnd, rec.completion_cycle,
+             obs::SpanPhase::kBatch, rec.id);
       }
       busy_until[replica] = rec.completion_cycle;
       if (config.metrics != nullptr) {
@@ -364,6 +406,8 @@ ServeReport plan_serving(const std::vector<Request>& requests, const ServeConfig
       while (const auto r = queue.try_pop()) {
         report.outcomes[r->id].failed = true;
         if (failed_requests_metric != nullptr) failed_requests_metric->inc();
+        // The request dies in the queue: close its span at the drain cycle.
+        span(req_entity, obs::EventKind::kSpanEnd, now, obs::SpanPhase::kQueued, r->id);
       }
       for (const auto& [ready, id] : retry_backlog) {
         (void)ready;
@@ -394,7 +438,12 @@ ServeReport plan_serving(const std::vector<Request>& requests, const ServeConfig
     while (next_arrival < requests.size() &&
            requests[next_arrival].arrival_cycle == now) {
       const Request& r = requests[next_arrival];
-      if (queue.try_push(r) == Admission::kShed) report.outcomes[r.id].shed = true;
+      if (queue.try_push(r) == Admission::kShed) {
+        report.outcomes[r.id].shed = true;
+        span(req_entity, obs::EventKind::kSpanBegin, now, obs::SpanPhase::kShed, r.id);
+      } else {
+        span(req_entity, obs::EventKind::kSpanBegin, now, obs::SpanPhase::kQueued, r.id);
+      }
       ++next_arrival;
       max_depth = std::max(max_depth, queue.size());
     }
@@ -407,6 +456,9 @@ ServeReport plan_serving(const std::vector<Request>& requests, const ServeConfig
         report.outcomes[id].failed = true;
         ++retry_shed;
         if (failed_requests_metric != nullptr) failed_requests_metric->inc();
+        span(req_entity, obs::EventKind::kSpanBegin, now, obs::SpanPhase::kShed, id);
+      } else {
+        span(req_entity, obs::EventKind::kSpanBegin, now, obs::SpanPhase::kQueued, id);
       }
       max_depth = std::max(max_depth, queue.size());
     }

@@ -23,6 +23,7 @@
 #include "common/metrics.hpp"
 #include "core/builder.hpp"
 #include "fault/fault_plan.hpp"
+#include "obs/trace.hpp"
 #include "serve/batcher.hpp"
 #include "serve/load_generator.hpp"
 #include "serve/replica_pool.hpp"
@@ -63,6 +64,17 @@ struct ServeConfig {
   /// (stamped with the fabric cycle) each time the timeline crosses a
   /// multiple of this many cycles; the rows land in ServeReport::metrics_csv.
   std::uint64_t metrics_snapshot_cycles = 0;
+
+  /// Optional trace sink (non-owning; must outlive the run). When set, the
+  /// planner emits request-lifecycle spans: a `queued` span per admission
+  /// (arrival -> dispatch) and an `execute` span (dispatch -> completion) on
+  /// the shared request track, `assemble`/`batch` spans on the batcher and
+  /// per-replica tracks, and 1-cycle `shed` markers. Spans carry only
+  /// timeline integers, so a trace of the same load + config is
+  /// byte-identical across runs and DFCNN_SWEEP_THREADS; in the fault-free
+  /// system each request's queued + execute span cycles sum exactly to its
+  /// measured latency (retry backoff gaps appear as holes between spans).
+  obs::TraceSink* trace = nullptr;
 
   /// Optional fault plan (non-owning; must outlive the run). The planner
   /// consumes its replica_kills and batch_corruptions; with it null or empty

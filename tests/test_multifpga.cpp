@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/harness.hpp"
 #include "core/interlink.hpp"
@@ -651,6 +654,133 @@ TEST(MultiFpgaCampaignTest, PartitionedBuildExposesLinkSitesAndStaysDetected) {
   EXPECT_EQ(result.sdc, 0u) << result.classification_line();
   EXPECT_EQ(result.masked + result.detected_recovered + result.sdc + result.hang,
             config.trials);
+}
+
+// --- link attribution ----------------------------------------------------------
+
+// Restores DFCNN_SWEEP_THREADS on scope exit.
+class ScopedSweepThreads {
+ public:
+  explicit ScopedSweepThreads(const char* value) {
+    if (const char* old = std::getenv("DFCNN_SWEEP_THREADS")) old_ = old;
+    ::setenv("DFCNN_SWEEP_THREADS", value, 1);
+  }
+  ~ScopedSweepThreads() {
+    if (old_.empty()) {
+      ::unsetenv("DFCNN_SWEEP_THREADS");
+    } else {
+      ::setenv("DFCNN_SWEEP_THREADS", old_.c_str(), 1);
+    }
+  }
+
+ private:
+  std::string old_;
+};
+
+MultiFpgaHarness make_usps_harness(int cycles_per_word) {
+  const auto spec = dfc::core::make_usps_spec(3);
+  const LinkModel link{40, cycles_per_word};
+  const auto plan = partition_network_exact(spec, 2, link);
+  dfc::core::BuildOptions opts;
+  opts.link = link;
+  return MultiFpgaHarness(build_multi_fpga(spec, plan.layer_device, opts));
+}
+
+TEST(LinkAttributionTest, BucketsSumToObservedCyclesAcrossThreadSettings) {
+  const auto spec = dfc::core::make_usps_spec(3);
+  const auto images = dfc::report::random_images(spec, 8);
+
+  std::vector<obs::LinkActivity> reference;
+  for (const char* threads : {"1", "4"}) {
+    ScopedSweepThreads scoped(threads);
+    MultiFpgaHarness harness = make_usps_harness(2);
+    harness.set_link_attribution(true);
+    const auto result = harness.run_batch(images);
+    ASSERT_TRUE(result.ok()) << result.error;
+    ASSERT_GT(harness.link_observed_cycles(), 0u);
+    std::vector<obs::LinkActivity> counts;
+    for (std::size_t i = 0; i < harness.accelerator().wires.size(); ++i) {
+      const obs::LinkActivity& a = harness.link_activity(i);
+      // The exactness contract: the four buckets partition every classified
+      // global cycle.
+      EXPECT_EQ(a.total(), harness.link_observed_cycles());
+      EXPECT_GT(a.wire_busy, 0u);
+      counts.push_back(a);
+    }
+    if (reference.empty()) {
+      reference = counts;
+    } else {
+      ASSERT_EQ(reference.size(), counts.size());
+      for (std::size_t i = 0; i < counts.size(); ++i) {
+        EXPECT_EQ(reference[i].wire_busy, counts[i].wire_busy);
+        EXPECT_EQ(reference[i].credit_stall, counts[i].credit_stall);
+        EXPECT_EQ(reference[i].rx_backpressure, counts[i].rx_backpressure);
+        EXPECT_EQ(reference[i].idle, counts[i].idle);
+      }
+    }
+  }
+}
+
+TEST(LinkAttributionTest, AttributionDoesNotChangeResults) {
+  const auto spec = dfc::core::make_usps_spec(3);
+  const auto images = dfc::report::random_images(spec, 8);
+
+  MultiFpgaHarness plain = make_usps_harness(2);
+  const auto r_plain = plain.run_batch(images);
+
+  MultiFpgaHarness observed = make_usps_harness(2);
+  observed.set_link_attribution(true);
+  const auto r_obs = observed.run_batch(images);
+
+  ASSERT_TRUE(r_plain.ok());
+  ASSERT_TRUE(r_obs.ok());
+  EXPECT_EQ(r_plain.outputs, r_obs.outputs);
+  EXPECT_EQ(r_plain.total_cycles(), r_obs.total_cycles());
+  EXPECT_EQ(r_plain.steady_interval_cycles(), r_obs.steady_interval_cycles());
+}
+
+TEST(LinkAttributionTest, SlowLinkShowsWireBusyDominance) {
+  const auto spec = dfc::core::make_usps_spec(3);
+  MultiFpgaHarness harness = make_usps_harness(8);  // 0.4 Gbps
+  harness.set_link_attribution(true);
+  const auto result = harness.run_batch(dfc::report::random_images(spec, 8));
+  ASSERT_TRUE(result.ok()) << result.error;
+  const obs::LinkActivity& a = harness.link_activity(0);
+  EXPECT_GT(a.wire_busy, a.idle);
+  EXPECT_EQ(a.total(), harness.link_observed_cycles());
+}
+
+TEST(LinkAttributionTest, FifoReportListsInterlinkChannelsAndStalls) {
+  const auto spec = dfc::core::make_usps_spec(3);
+  MultiFpgaHarness harness = make_usps_harness(2);
+  harness.set_link_attribution(true);
+  ASSERT_TRUE(harness.run_batch(dfc::report::random_images(spec, 4)).ok());
+  const std::string report = harness.fifo_report();
+  EXPECT_NE(report.find("interlink channels"), std::string::npos);
+  EXPECT_NE(report.find("tx_fifo"), std::string::npos);
+  EXPECT_NE(report.find("rx_fifo"), std::string::npos);
+  EXPECT_NE(report.find("full_stalls="), std::string::npos);
+  EXPECT_NE(report.find("empty_stalls="), std::string::npos);
+  EXPECT_NE(report.find("interlink attribution"), std::string::npos);
+  EXPECT_NE(report.find("wire_busy="), std::string::npos);
+}
+
+TEST(LinkAttributionTest, LinkTraceEmitsStateAndCreditEvents) {
+  const auto spec = dfc::core::make_usps_spec(3);
+  MultiFpgaHarness harness = make_usps_harness(2);
+  obs::TraceSink sink;
+  harness.attach_link_trace(&sink);
+  ASSERT_TRUE(harness.run_batch(dfc::report::random_images(spec, 4)).ok());
+  ASSERT_FALSE(sink.entities().empty());
+  EXPECT_EQ(sink.entity(0).kind, obs::EntityKind::kLink);
+  bool saw_state = false;
+  bool saw_credits = false;
+  for (const obs::TraceEvent& ev : sink.events()) {
+    saw_state = saw_state || ev.kind == obs::EventKind::kLinkState;
+    saw_credits = saw_credits || ev.kind == obs::EventKind::kLinkCredits;
+  }
+  EXPECT_TRUE(saw_state);
+  EXPECT_TRUE(saw_credits);
 }
 
 }  // namespace

@@ -6,6 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -16,9 +19,11 @@
 #include "dataflow/fifo.hpp"
 #include "dataflow/sim_context.hpp"
 #include "obs/activity.hpp"
+#include "obs/analyze.hpp"
 #include "obs/perfetto.hpp"
 #include "obs/trace.hpp"
 #include "report/experiments.hpp"
+#include "report/profile.hpp"
 #include "serve/load_generator.hpp"
 #include "serve/server.hpp"
 
@@ -341,6 +346,240 @@ TEST(ServeMetricsTest, SnapshotCsvIsCycleStampedAndDeterministic) {
   const serve::ServeReport rb = run_served_scenario(&b, 256);
   EXPECT_EQ(ra.metrics_csv, rb.metrics_csv);
   EXPECT_EQ(a.expose_text(), b.expose_text());
+}
+
+// --- Perfetto export golden file -----------------------------------------------
+
+// A synthetic trace touching every entity kind and event family the exporter
+// understands: FIFO occupancy + stalls, core states + image markers, serve
+// spans (async queued/execute + shed marker), link states + credits. The
+// exported JSON is byte-compared against a committed golden file, so any
+// schema drift (field renames, pid regrouping, ordering changes) fails
+// loudly. Regenerate deliberately with DFCNN_UPDATE_GOLDEN=1.
+obs::TraceSink make_golden_sink() {
+  obs::TraceSink sink;
+  const auto fifo = sink.register_entity("q", obs::EntityKind::kFifo, 4);
+  const auto core = sink.register_entity("core", obs::EntityKind::kProcess);
+  const auto req = sink.register_entity("serve.requests", obs::EntityKind::kServe);
+  const auto link = sink.register_entity("L.wire0", obs::EntityKind::kLink);
+
+  sink.record(core, obs::EventKind::kImageStart, 0, 0);
+  sink.record(core, obs::EventKind::kCoreState, 0,
+              static_cast<std::uint32_t>(obs::CoreState::kWorking));
+  sink.record(fifo, obs::EventKind::kPush, 1, 1);
+  sink.record(link, obs::EventKind::kLinkCredits, 1, 4);
+  sink.record(link, obs::EventKind::kLinkState, 1,
+              static_cast<std::uint32_t>(obs::LinkState::kWireBusy));
+  sink.record(req, obs::EventKind::kSpanBegin, 2,
+              obs::span_value(obs::SpanPhase::kQueued, 7));
+  sink.record(fifo, obs::EventKind::kPop, 3, 1);
+  sink.record(link, obs::EventKind::kLinkCredits, 3, 2);
+  sink.record(req, obs::EventKind::kSpanBegin, 4,
+              obs::span_value(obs::SpanPhase::kShed, 8));
+  sink.record(fifo, obs::EventKind::kFullStall, 5, 0);
+  sink.record(core, obs::EventKind::kCoreState, 5,
+              static_cast<std::uint32_t>(obs::CoreState::kStarved));
+  sink.record(link, obs::EventKind::kLinkState, 5,
+              static_cast<std::uint32_t>(obs::LinkState::kCreditStall));
+  sink.record(req, obs::EventKind::kSpanEnd, 6,
+              obs::span_value(obs::SpanPhase::kQueued, 7));
+  sink.record(req, obs::EventKind::kSpanBegin, 6,
+              obs::span_value(obs::SpanPhase::kExecute, 7));
+  sink.record(fifo, obs::EventKind::kEmptyStall, 7, 0);
+  sink.record(link, obs::EventKind::kLinkState, 8,
+              static_cast<std::uint32_t>(obs::LinkState::kIdle));
+  sink.record(req, obs::EventKind::kSpanEnd, 9,
+              obs::span_value(obs::SpanPhase::kExecute, 7));
+  sink.record(core, obs::EventKind::kImageDone, 9, 0);
+  return sink;
+}
+
+TEST(TraceExportTest, MatchesCommittedGoldenFile) {
+  const obs::TraceSink sink = make_golden_sink();
+  const std::string actual = obs::perfetto_trace_json(sink);
+
+  const std::filesystem::path golden_path =
+      std::filesystem::path(__FILE__).parent_path() / "golden" / "perfetto_small.json";
+  if (std::getenv("DFCNN_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << actual;
+    GTEST_SKIP() << "golden regenerated at " << golden_path;
+  }
+  std::ifstream in(golden_path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path
+                         << " (run once with DFCNN_UPDATE_GOLDEN=1)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str())
+      << "Perfetto JSON schema drifted; if intentional, regenerate with "
+         "DFCNN_UPDATE_GOLDEN=1";
+}
+
+TEST(TraceExportTest, GoldenSinkCoversServeAndLinkGroups) {
+  const std::string json = obs::perfetto_trace_json(make_golden_sink());
+  EXPECT_NE(json.find("\"serve\""), std::string::npos);
+  EXPECT_NE(json.find("\"links\""), std::string::npos);
+  EXPECT_NE(json.find("\"queued\""), std::string::npos);
+  EXPECT_NE(json.find("\"execute\""), std::string::npos);
+  EXPECT_NE(json.find("shed"), std::string::npos);
+  EXPECT_NE(json.find("credits"), std::string::npos);
+}
+
+// --- bottleneck analyzer -------------------------------------------------------
+
+obs::StageSample make_stage(const std::string& name, std::int64_t predicted,
+                            std::uint64_t working, std::uint64_t observed) {
+  obs::StageSample st;
+  st.name = name;
+  st.predicted_cycles = predicted;
+  if (observed > 0) {
+    st.has_activity = true;
+    st.activity.working = working;
+    st.activity.idle = observed - working;
+    st.observed_cycles = observed;
+  }
+  return st;
+}
+
+TEST(AnalyzeTest, ComputeBoundStageWinsByObservedBusyCycles) {
+  obs::AnalyzeInput in;
+  in.design = "synthetic";
+  in.batch = 10;
+  in.predicted_interval = 100;
+  in.observed_interval = 150;
+  in.stages.push_back(make_stage("dma-in", 100, 0, 0));
+  in.stages.push_back(make_stage("L0.conv", 100, 1500, 1600));  // 150 cy/img busy
+  in.stages.push_back(make_stage("L1.pool", 50, 400, 1600));
+
+  const obs::BottleneckReport rep = obs::analyze_bottleneck(in);
+  ASSERT_FALSE(rep.ranking.empty());
+  EXPECT_EQ(rep.ranking.front().name, "L0.conv");
+  EXPECT_EQ(rep.ranking.front().score, 150);
+  EXPECT_NE(rep.verdict.find("compute-bound at L0.conv"), std::string::npos);
+}
+
+TEST(AnalyzeTest, IngestWinsTiesAgainstEquallyPacedStages) {
+  // dma-in and L0.conv both predict 100 cycles/image, but L0 is observed
+  // below its prediction and idle-starved — the upstream endpoint is the
+  // pace-setter and must outrank it on the tie.
+  obs::AnalyzeInput in;
+  in.design = "synthetic";
+  in.batch = 10;
+  in.shared_dma_bus = true;
+  in.predicted_interval = 100;
+  in.observed_interval = 110;
+  in.stages.push_back(make_stage("dma-in", 100, 0, 0));
+  in.stages.push_back(make_stage("L0.conv", 100, 900, 1100));
+
+  const obs::BottleneckReport rep = obs::analyze_bottleneck(in);
+  EXPECT_EQ(rep.ranking.front().kind, "ingest");
+  EXPECT_NE(rep.verdict.find("ingest-bound via shared DMA bus (observed II 110 vs ideal 100)"),
+            std::string::npos);
+}
+
+TEST(AnalyzeTest, SlowLinkProducesLinkBoundVerdict) {
+  obs::AnalyzeInput in;
+  in.design = "synthetic";
+  in.batch = 10;
+  in.devices = 2;
+  in.predicted_interval = 100;
+  in.observed_interval = 400;
+  in.stages.push_back(make_stage("L0.conv", 100, 900, 4000));
+  obs::LinkSample ln;
+  ln.name = "L0.wire0";
+  ln.gbps = 0.4;
+  ln.predicted_cycles = 400;
+  ln.activity.wire_busy = 3600;
+  ln.activity.credit_stall = 200;
+  ln.activity.idle = 200;
+  ln.observed_cycles = 4000;
+  in.links.push_back(ln);
+
+  const obs::BottleneckReport rep = obs::analyze_bottleneck(in);
+  EXPECT_EQ(rep.ranking.front().kind, "link");
+  EXPECT_NE(rep.verdict.find("link-bound at 0.40 Gbps"), std::string::npos);
+  EXPECT_NE(rep.verdict.find("wire_busy 90.0%"), std::string::npos);
+}
+
+TEST(AnalyzeTest, ReportRenderAndJsonAreDeterministic) {
+  obs::AnalyzeInput in;
+  in.design = "synthetic";
+  in.batch = 4;
+  in.predicted_interval = 10;
+  in.observed_interval = 12;
+  in.stages.push_back(make_stage("dma-in", 10, 0, 0));
+  in.stages.push_back(make_stage("L0.conv", 10, 36, 48));
+  in.fifos.push_back({"L0.win0", 4, 2, 5, 9});
+
+  const obs::BottleneckReport a = obs::analyze_bottleneck(in);
+  const obs::BottleneckReport b = obs::analyze_bottleneck(in);
+  EXPECT_EQ(a.render(), b.render());
+  EXPECT_EQ(a.to_json(), b.to_json());
+  EXPECT_NE(a.to_json().find("\"verdict\""), std::string::npos);
+  EXPECT_NE(a.to_json().find("\"fifo_pressure\""), std::string::npos);
+  EXPECT_NE(a.render().find("fifo (most stalled)"), std::string::npos);
+}
+
+// --- end-to-end profiles -------------------------------------------------------
+
+TEST(ProfileTest, UspsSharedBusIsIngestBoundAtTheDocumentedInterval) {
+  const auto spec = core::make_usps_spec(3);
+  report::ProfileOptions options;
+  options.batch = 16;
+  const obs::BottleneckReport rep = report::profile_design(spec, options);
+  EXPECT_EQ(rep.input.predicted_interval, 256);
+  EXPECT_EQ(rep.input.observed_interval, 266u);
+  EXPECT_NE(rep.verdict.find("ingest-bound via shared DMA bus"), std::string::npos)
+      << rep.verdict;
+  ASSERT_FALSE(rep.ranking.empty());
+  EXPECT_EQ(rep.ranking.front().kind, "ingest");
+}
+
+TEST(ProfileTest, TwoBoardsReachTheIdealInterval) {
+  const auto spec = core::make_usps_spec(3);
+  report::ProfileOptions options;
+  options.batch = 16;
+  options.devices = 2;
+  const obs::BottleneckReport rep = report::profile_design(spec, options);
+  EXPECT_EQ(rep.input.observed_interval, 256u);
+  EXPECT_NE(rep.verdict.find("ingest-bound at the ideal 256-cycle interval"),
+            std::string::npos)
+      << rep.verdict;
+  ASSERT_EQ(rep.input.links.size(), 1u);
+  // The link split is exact: buckets partition the classified cycles.
+  const obs::LinkSample& ln = rep.input.links.front();
+  EXPECT_EQ(ln.activity.total(), ln.observed_cycles);
+}
+
+TEST(ProfileTest, SlowLinkFlipsTheVerdictToLinkBound) {
+  const auto spec = core::make_usps_spec(3);
+  report::ProfileOptions options;
+  options.batch = 16;
+  options.devices = 2;
+  options.link_gbps = 0.4;
+  const obs::BottleneckReport rep = report::profile_design(spec, options);
+  EXPECT_NE(rep.verdict.find("link-bound at 0.40 Gbps"), std::string::npos) << rep.verdict;
+  EXPECT_GT(rep.input.observed_interval, 256u);
+}
+
+TEST(ProfileTest, ReportIsByteIdenticalAcrossThreadSettings) {
+  const auto spec = core::make_usps_spec(3);
+  report::ProfileOptions options;
+  options.batch = 8;
+  options.devices = 2;
+  std::string first;
+  for (const char* threads : {"1", "4"}) {
+    ScopedSweepThreads scoped(threads);
+    const obs::BottleneckReport rep = report::profile_design(spec, options);
+    const std::string json = rep.to_json();
+    if (first.empty()) {
+      first = json;
+    } else {
+      EXPECT_EQ(first, json);
+    }
+  }
+  EXPECT_NE(first.find("\"links\""), std::string::npos);
 }
 
 }  // namespace

@@ -5,13 +5,17 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <cstring>
+#include <map>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/math_util.hpp"
 #include "core/presets.hpp"
+#include "obs/trace.hpp"
 #include "fault/fault_plan.hpp"
 #include "serve/batcher.hpp"
 #include "serve/load_generator.hpp"
@@ -575,6 +579,183 @@ TEST(InferenceServerTest, LightLoadProducesSizeOneBatches) {
   for (const BatchRecord& b : report.batch_records) EXPECT_EQ(b.size(), 1u);
   EXPECT_EQ(report.stats.completed_requests, 4u);
   EXPECT_EQ(report.stats.mean_batch_size, 1.0);
+}
+
+// --- p99.9 --------------------------------------------------------------------
+
+TEST(PercentileTest, P999DegeneratesToMaxOnSmallSamples) {
+  // Below ~1000 samples the nearest-rank p99.9 is just the maximum; the
+  // field must still be well-defined (and zero on an empty sample).
+  std::vector<std::uint64_t> v;
+  for (std::uint64_t i = 1; i <= 100; ++i) v.push_back(i);
+  EXPECT_EQ(latency_percentiles(v).p999, 100u);
+  EXPECT_EQ(latency_percentiles({42}).p999, 42u);
+  EXPECT_EQ(latency_percentiles({}).p999, 0u);
+
+  // With 2000 samples 1..2000 the rank is ceil(0.999 * 2000) = 1998.
+  std::vector<std::uint64_t> big;
+  for (std::uint64_t i = 1; i <= 2000; ++i) big.push_back(i);
+  const LatencyPercentiles p = latency_percentiles(big);
+  EXPECT_EQ(p.p999, 1998u);
+  EXPECT_GE(p.p999, p.p99);
+}
+
+TEST(ServeStatsTest, ReportsAndRendersP999) {
+  const core::NetworkSpec spec = usps_spec();
+  ServeConfig config;
+  config.replicas = 1;
+  config.batcher.max_batch_size = 4;
+  config.batcher.max_wait_cycles = 200;
+
+  LoadSpec ls;
+  ls.arrivals = ArrivalProcess::kUniform;
+  ls.rate_images_per_second = 50000.0;
+  ls.request_count = 40;
+
+  InferenceServer server(spec, config);
+  const ServeReport report = server.run(generate_load(spec, ls));
+  EXPECT_GE(report.stats.p999_latency_cycles, report.stats.p99_latency_cycles);
+  EXPECT_NE(report.stats.render().find("p99.9 latency (cycles)"), std::string::npos);
+}
+
+// --- request-lifecycle spans ---------------------------------------------------
+
+struct SpanWindow {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  bool open = false;
+};
+
+// Collects (phase, id) -> window from the shared request track.
+std::map<std::pair<int, std::uint64_t>, SpanWindow> request_spans(const obs::TraceSink& sink) {
+  std::uint32_t req_entity = 0;
+  bool found = false;
+  for (std::uint32_t i = 0; i < sink.entities().size(); ++i) {
+    if (sink.entity(i).name == "serve.requests") {
+      req_entity = i;
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  std::map<std::pair<int, std::uint64_t>, SpanWindow> spans;
+  for (const obs::TraceEvent& ev : sink.events()) {
+    if (ev.entity != req_entity) continue;
+    const auto key = std::make_pair(static_cast<int>(obs::span_phase(ev.value)),
+                                    static_cast<std::uint64_t>(obs::span_id(ev.value)));
+    if (ev.kind == obs::EventKind::kSpanBegin) {
+      spans[key].begin = ev.cycle;
+      spans[key].open = true;
+    } else if (ev.kind == obs::EventKind::kSpanEnd) {
+      spans[key].end = ev.cycle;
+      spans[key].open = false;
+    }
+  }
+  return spans;
+}
+
+ServeReport run_traced_scenario(obs::TraceSink* sink, std::size_t queue_capacity,
+                                double rate) {
+  const core::NetworkSpec spec = usps_spec();
+  ServeConfig config;
+  config.replicas = 2;
+  config.queue_capacity = queue_capacity;
+  config.batcher.max_batch_size = 8;
+  config.batcher.max_wait_cycles = 400;
+  config.trace = sink;
+
+  LoadSpec ls;
+  ls.arrivals = ArrivalProcess::kPoisson;
+  ls.rate_images_per_second = rate;
+  ls.request_count = 300;
+  ls.seed = 11;
+
+  InferenceServer server(spec, config);
+  return server.run(generate_load(spec, ls));
+}
+
+TEST(ServeSpanTest, QueuedPlusExecuteCyclesSumToRequestLatency) {
+  obs::TraceSink sink;
+  const ServeReport report = run_traced_scenario(&sink, 64, 200000.0);
+  EXPECT_EQ(sink.dropped(), 0u);
+
+  const auto spans = request_spans(sink);
+  std::size_t completed = 0;
+  for (const RequestOutcome& r : report.outcomes) {
+    if (r.shed || r.failed) continue;
+    const auto queued =
+        spans.find({static_cast<int>(obs::SpanPhase::kQueued), r.id});
+    const auto execute =
+        spans.find({static_cast<int>(obs::SpanPhase::kExecute), r.id});
+    ASSERT_NE(queued, spans.end()) << "request " << r.id;
+    ASSERT_NE(execute, spans.end()) << "request " << r.id;
+    EXPECT_FALSE(queued->second.open);
+    EXPECT_FALSE(execute->second.open);
+    // Fault-free exactness: queued covers arrival -> dispatch, execute covers
+    // dispatch -> completion, and together they tile the measured latency.
+    EXPECT_EQ(queued->second.begin, r.arrival_cycle);
+    EXPECT_EQ(queued->second.end, r.dispatch_cycle);
+    EXPECT_EQ(execute->second.begin, r.dispatch_cycle);
+    EXPECT_EQ(execute->second.end, r.completion_cycle);
+    const std::uint64_t span_sum = (queued->second.end - queued->second.begin) +
+                                   (execute->second.end - execute->second.begin);
+    EXPECT_EQ(span_sum, r.latency_cycles()) << "request " << r.id;
+    ++completed;
+  }
+  EXPECT_GT(completed, 0u);
+}
+
+TEST(ServeSpanTest, ShedRequestsGetMarkersNotSpans) {
+  obs::TraceSink sink;
+  // A tiny queue under a hopeless burst rate guarantees sheds.
+  const ServeReport report = run_traced_scenario(&sink, 2, 2000000.0);
+  const auto spans = request_spans(sink);
+  std::size_t sheds = 0;
+  for (const RequestOutcome& r : report.outcomes) {
+    if (!r.shed) continue;
+    ++sheds;
+    EXPECT_NE(spans.find({static_cast<int>(obs::SpanPhase::kShed), r.id}), spans.end());
+    EXPECT_EQ(spans.find({static_cast<int>(obs::SpanPhase::kQueued), r.id}), spans.end());
+    EXPECT_EQ(spans.find({static_cast<int>(obs::SpanPhase::kExecute), r.id}), spans.end());
+  }
+  EXPECT_GT(sheds, 0u);
+}
+
+TEST(ServeSpanTest, TraceIsByteIdenticalAcrossRunsAndThreadSettings) {
+  obs::TraceSink a;
+  run_traced_scenario(&a, 64, 200000.0);
+  obs::TraceSink b;
+  {
+    ScopedSweepThreads threads("1");
+    run_traced_scenario(&b, 64, 200000.0);
+  }
+  obs::TraceSink c;
+  {
+    ScopedSweepThreads threads("4");
+    run_traced_scenario(&c, 64, 200000.0);
+  }
+  ASSERT_EQ(a.events().size(), b.events().size());
+  ASSERT_EQ(a.events().size(), c.events().size());
+  auto same = [](const obs::TraceEvent& x, const obs::TraceEvent& y) {
+    return x.cycle == y.cycle && x.entity == y.entity && x.kind == y.kind &&
+           x.value == y.value;
+  };
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_TRUE(same(a.events()[i], b.events()[i])) << "event " << i;
+    EXPECT_TRUE(same(a.events()[i], c.events()[i])) << "event " << i;
+  }
+}
+
+TEST(ServeSpanTest, TracingDoesNotChangeTheTimeline) {
+  obs::TraceSink sink;
+  const ServeReport traced = run_traced_scenario(&sink, 64, 200000.0);
+  const ServeReport plain = run_traced_scenario(nullptr, 64, 200000.0);
+  ASSERT_EQ(traced.outcomes.size(), plain.outcomes.size());
+  for (std::size_t i = 0; i < traced.outcomes.size(); ++i) {
+    EXPECT_EQ(traced.outcomes[i].completion_cycle, plain.outcomes[i].completion_cycle);
+    EXPECT_EQ(traced.outcomes[i].dispatch_cycle, plain.outcomes[i].dispatch_cycle);
+    EXPECT_EQ(traced.outcomes[i].shed, plain.outcomes[i].shed);
+  }
+  EXPECT_EQ(traced.stats.p999_latency_cycles, plain.stats.p999_latency_cycles);
 }
 
 }  // namespace

@@ -1,0 +1,124 @@
+// Tests for the performance-trajectory subsystem: snapshot JSON round-trip,
+// malformed-input rejection, and the calibration-normalized regression gate
+// (including the injected-regression negative case CI relies on).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+#include "report/trend.hpp"
+
+namespace dfc::report {
+namespace {
+
+TrendSnapshot make_base() {
+  TrendSnapshot s;
+  s.label = "pr0007";
+  s.calibration_ms = 200.0;
+  s.benches.push_back({"cycle", 100.0});
+  s.benches.push_back({"serve", 50.0});
+  s.benches.push_back({"tiny", 5.0});
+  return s;
+}
+
+TEST(TrendJsonTest, RoundTripsThroughJson) {
+  const TrendSnapshot s = make_base();
+  const TrendSnapshot back = TrendSnapshot::from_json(s.to_json());
+  EXPECT_EQ(back.label, s.label);
+  EXPECT_DOUBLE_EQ(back.calibration_ms, s.calibration_ms);
+  ASSERT_EQ(back.benches.size(), s.benches.size());
+  for (std::size_t i = 0; i < s.benches.size(); ++i) {
+    EXPECT_EQ(back.benches[i].name, s.benches[i].name);
+    EXPECT_DOUBLE_EQ(back.benches[i].wall_ms, s.benches[i].wall_ms);
+  }
+  // A second trip is byte-stable.
+  EXPECT_EQ(back.to_json(), s.to_json());
+}
+
+TEST(TrendJsonTest, RejectsMalformedInput) {
+  EXPECT_THROW(TrendSnapshot::from_json(""), Error);
+  EXPECT_THROW(TrendSnapshot::from_json("{"), Error);
+  EXPECT_THROW(TrendSnapshot::from_json("{\"label\": \"x\"}"), Error);  // no calibration
+  EXPECT_THROW(TrendSnapshot::from_json("{\"label\": \"x\", \"calibration_ms\": 0}"), Error);
+  EXPECT_THROW(TrendSnapshot::from_json("{\"bogus\": 1}"), Error);
+  EXPECT_THROW(TrendSnapshot::from_json(
+                   "{\"label\": \"x\", \"calibration_ms\": 1, \"benches\": [{\"name\": "
+                   "\"a\"}]}"),
+               Error);  // bench missing wall_ms
+}
+
+TEST(TrendCompareTest, IdenticalSnapshotsPass) {
+  const TrendSnapshot base = make_base();
+  const TrendComparison cmp = compare_trend(base, base);
+  EXPECT_TRUE(cmp.ok);
+  for (const TrendRow& r : cmp.rows) {
+    EXPECT_FALSE(r.regressed);
+    EXPECT_FALSE(r.missing);
+    EXPECT_DOUBLE_EQ(r.ratio, 1.0);
+  }
+}
+
+TEST(TrendCompareTest, InjectedRegressionFailsTheGate) {
+  const TrendSnapshot base = make_base();
+  TrendSnapshot cur = base;
+  cur.benches[0].wall_ms = 115.0;  // +15% on a 100 ms bench
+  const TrendComparison cmp = compare_trend(base, cur, 0.10);
+  EXPECT_FALSE(cmp.ok);
+  EXPECT_TRUE(cmp.rows[0].regressed);
+  EXPECT_FALSE(cmp.rows[1].regressed);
+  EXPECT_NE(cmp.render().find("REGRESSED"), std::string::npos);
+  EXPECT_NE(cmp.render().find("trend: FAIL"), std::string::npos);
+}
+
+TEST(TrendCompareTest, RegressionWithinThresholdPasses) {
+  const TrendSnapshot base = make_base();
+  TrendSnapshot cur = base;
+  cur.benches[0].wall_ms = 108.0;  // +8% < 10%
+  EXPECT_TRUE(compare_trend(base, cur, 0.10).ok);
+}
+
+TEST(TrendCompareTest, SubNoiseBenchesCannotFailTheGate) {
+  const TrendSnapshot base = make_base();
+  TrendSnapshot cur = base;
+  cur.benches[2].wall_ms = 9.0;  // +80% on a 5 ms bench, below the 20 ms floor
+  const TrendComparison cmp = compare_trend(base, cur, 0.10);
+  EXPECT_TRUE(cmp.ok);
+  EXPECT_FALSE(cmp.rows[2].regressed);
+}
+
+TEST(TrendCompareTest, CalibrationNormalizesMachineSpeed) {
+  const TrendSnapshot base = make_base();
+  // A machine twice as slow: calibration and every bench double. Normalized
+  // cost is unchanged, so nothing regresses.
+  TrendSnapshot cur = base;
+  cur.calibration_ms *= 2.0;
+  for (auto& b : cur.benches) b.wall_ms *= 2.0;
+  const TrendComparison cmp = compare_trend(base, cur, 0.10);
+  EXPECT_TRUE(cmp.ok);
+  for (const TrendRow& r : cmp.rows) EXPECT_DOUBLE_EQ(r.ratio, 1.0);
+
+  // The same doubled wall times WITHOUT the calibration scaling is a real
+  // 2x regression and fails.
+  TrendSnapshot bad = base;
+  for (auto& b : bad.benches) b.wall_ms *= 2.0;
+  EXPECT_FALSE(compare_trend(base, bad, 0.10).ok);
+}
+
+TEST(TrendCompareTest, MissingBenchFails) {
+  const TrendSnapshot base = make_base();
+  TrendSnapshot cur = base;
+  cur.benches.erase(cur.benches.begin());
+  const TrendComparison cmp = compare_trend(base, cur, 0.10);
+  EXPECT_FALSE(cmp.ok);
+  EXPECT_TRUE(cmp.rows[0].missing);
+  EXPECT_NE(cmp.render().find("MISSING"), std::string::npos);
+}
+
+TEST(TrendCalibrationTest, YardstickIsPositiveAndFinite) {
+  const double ms = run_calibration();
+  EXPECT_GT(ms, 0.0);
+  EXPECT_LT(ms, 60'000.0);
+}
+
+}  // namespace
+}  // namespace dfc::report

@@ -7,9 +7,14 @@
 //                                            simulated first and edges carry
 //                                            FIFO pressure annotations
 //   dfcnn simulate  <design> [batch]         cycle-level batch simulation
-//   dfcnn trace     <design> [batch] [--out trace.json]
-//                                            simulate with event tracing and
-//                                            write a Perfetto JSON trace
+//   dfcnn trace     <design> [batch] [--out trace.json] [--devices N]
+//                   [--link-gbps X]          simulate with event tracing and
+//                                            write a Perfetto JSON trace;
+//                                            with --devices N the design is
+//                                            partitioned across N boards and
+//                                            the per-board traces plus the
+//                                            inter-board link activity are
+//                                            merged into one cross-board view
 //   dfcnn serve     <design> [requests] [rate] [replicas] [--metrics]
 //                   [--seed S] [--rate R]    open-loop serving scenario
 //                                            (rate in req/s, 0 = 80% of
@@ -32,6 +37,11 @@
 //                                            serial links and run the batch
 //                                            end to end, checking logits
 //                                            against the single-device engine
+//   dfcnn profile   <design> [--devices N] [--batch B] [--link-gbps X]
+//                   [--out report.json]      run under observation and print
+//                                            the ranked bottleneck report
+//                                            (Eq. 4 predicted vs observed II
+//                                            per stage, link splits, verdict)
 //   dfcnn export    <preset> <out.dfcnn>     save a compiled design artifact
 //
 // <design> is a preset name (usps | cifar | alexnet) or a .dfcnn file saved
@@ -58,6 +68,7 @@
 #include "obs/trace.hpp"
 #include "fault/campaign.hpp"
 #include "report/experiments.hpp"
+#include "report/profile.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -66,8 +77,8 @@ using namespace dfc;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: dfcnn <info|dot|simulate|trace|serve|faults|dse|partition|export> "
-               "<design> [args]\n"
+               "usage: dfcnn <info|dot|simulate|trace|serve|faults|dse|partition|multifpga|"
+               "profile|export> <design> [args]\n"
                "  designs: usps | cifar | alexnet | <path to .dfcnn file>\n"
                "  devices: virtex7-485t | virtex7-330t | kintex7-325t\n"
                "  dot:     dfcnn dot <design> [batch=0]   (batch > 0 simulates first and\n"
@@ -76,9 +87,13 @@ int usage() {
                "           (--compiled replays the static schedule instead of stepping\n"
                "           cycles; identical results)\n"
                "  trace:   dfcnn trace <design> [batch=4] [--out trace.json]\n"
+               "           [--devices N=1] [--link-gbps X=3.2]   (N > 1 merges per-board\n"
+               "           traces + inter-board link activity into one view)\n"
                "  serve:   dfcnn serve <design> [requests=2000] [rate_rps=0(auto)] "
                "[replicas=2]\n"
-               "           [--metrics] [--seed S=7] [--rate R]\n"
+               "           [--metrics] [--seed S=7] [--rate R] [--trace spans.json]\n"
+               "  profile: dfcnn profile <design> [--devices N=1] [--batch B=16]\n"
+               "           [--link-gbps X=3.2] [--out report.json]\n"
                "  faults:  dfcnn faults <design> [--seed S=1] [--trials N=64] [--batch B=4]\n"
                "           [--no-detect] [--out faults.csv]\n"
                "  multifpga: dfcnn multifpga <design> [--devices N=2] [--link-gbps X=3.2]\n"
@@ -156,18 +171,21 @@ int cmd_dot(const core::NetworkSpec& spec, std::size_t batch) {
   return 0;
 }
 
+void write_trace_file(const obs::TraceSink& sink, const std::string& out_path) {
+  std::ofstream out(out_path, std::ios::binary);
+  DFC_REQUIRE(out.good(), "cannot open '" + out_path + "' for writing");
+  obs::write_perfetto_trace(sink, out);
+  out.flush();
+  DFC_REQUIRE(out.good(), "failed writing trace to '" + out_path + "'");
+}
+
 int cmd_trace(const core::NetworkSpec& spec, std::size_t batch, const std::string& out_path) {
   obs::TraceSink sink;
   core::AcceleratorHarness harness(core::build_accelerator(spec));
   harness.accelerator().ctx->attach_trace(&sink);
   const auto result = harness.run_batch(report::random_images(spec, batch));
 
-  std::ofstream out(out_path, std::ios::binary);
-  DFC_REQUIRE(out.good(), "cannot open '" + out_path + "' for writing");
-  obs::write_perfetto_trace(sink, out);
-  out.flush();
-  DFC_REQUIRE(out.good(), "failed writing trace to '" + out_path + "'");
-
+  write_trace_file(sink, out_path);
   std::fprintf(stderr,
                "traced %s: batch %zu, %llu cycles, %zu events (%llu dropped) -> %s\n",
                spec.name.c_str(), batch,
@@ -177,8 +195,61 @@ int cmd_trace(const core::NetworkSpec& spec, std::size_t batch, const std::strin
   return 0;
 }
 
+int cmd_trace_multi(const core::NetworkSpec& spec, std::size_t batch, std::size_t devices,
+                    double link_gbps, const std::string& out_path) {
+  DFC_REQUIRE(link_gbps > 0.0, "--link-gbps must be positive");
+  const int cycles_per_word = std::max(1, static_cast<int>(3.2 / link_gbps + 0.5));
+  const core::LinkModel link{40, cycles_per_word};
+  const auto plan = mfpga::partition_network_exact(spec, devices, link);
+  core::BuildOptions opts;
+  opts.link = link;
+  mfpga::MultiFpgaHarness harness(mfpga::build_multi_fpga(spec, plan.layer_device, opts));
+
+  // One sink per board plus one for link activity; entity names already carry
+  // the fpga<d>. prefix, so the merged view stays unambiguous.
+  std::vector<obs::TraceSink> sinks(harness.device_count());
+  std::vector<obs::TraceSink*> sink_ptrs;
+  for (auto& s : sinks) sink_ptrs.push_back(&s);
+  obs::TraceSink link_sink;
+  harness.attach_traces(sink_ptrs);
+  harness.attach_link_trace(&link_sink);
+  const auto result = harness.run_batch(report::random_images(spec, batch));
+  DFC_REQUIRE(result.ok(), "multi-FPGA trace run did not complete: " + result.error);
+
+  obs::TraceSink merged;
+  std::vector<const obs::TraceSink*> all;
+  for (const auto& s : sinks) all.push_back(&s);
+  all.push_back(&link_sink);
+  mfpga::merge_traces(all, merged);
+
+  write_trace_file(merged, out_path);
+  std::fprintf(stderr,
+               "traced %s across %zu boards: batch %zu, %llu cycles, %zu merged events -> %s\n",
+               spec.name.c_str(), harness.device_count(), batch,
+               static_cast<unsigned long long>(result.total_cycles()), merged.events().size(),
+               out_path.c_str());
+  std::printf("%s", harness.fifo_report().c_str());
+  return 0;
+}
+
+int cmd_profile(const core::NetworkSpec& spec, const report::ProfileOptions& options,
+                const std::string& out_path) {
+  const obs::BottleneckReport rep = report::profile_design(spec, options);
+  std::printf("%s", rep.render().c_str());
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    DFC_REQUIRE(out.good(), "cannot open '" + out_path + "' for writing");
+    out << rep.to_json();
+    out.flush();
+    DFC_REQUIRE(out.good(), "failed writing profile JSON to '" + out_path + "'");
+    std::fprintf(stderr, "wrote profile JSON to %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
 int cmd_serve(const core::NetworkSpec& spec, std::size_t requests, double rate_rps,
-              std::size_t replicas, bool metrics, std::uint64_t seed) {
+              std::size_t replicas, bool metrics, std::uint64_t seed,
+              const std::string& trace_path) {
   serve::ServeConfig config;
   config.replicas = replicas;
   config.queue_capacity = 64;
@@ -203,10 +274,18 @@ int cmd_serve(const core::NetworkSpec& spec, std::size_t requests, double rate_r
 
   dfc::MetricsRegistry registry;
   if (metrics) config.metrics = &registry;
+  obs::TraceSink span_sink;
+  if (!trace_path.empty()) config.trace = &span_sink;
 
   serve::InferenceServer server(spec, config);
   const serve::Load load = serve::generate_load(spec, load_spec);
   const serve::ServeReport report = server.run(load);
+
+  if (!trace_path.empty()) {
+    write_trace_file(span_sink, trace_path);
+    std::fprintf(stderr, "wrote %zu request-span events to %s\n", span_sink.events().size(),
+                 trace_path.c_str());
+  }
 
   std::printf("serving %s: %zu requests, Poisson @ %.0f req/s, %zu replicas, "
               "max_batch %zu, max_wait %llu cycles, queue %zu\n\n",
@@ -341,13 +420,22 @@ int main(int argc, char** argv) {
     }
     if (cmd == "trace") {
       std::size_t batch = 4;
+      std::size_t devices = 1;
+      double link_gbps = 3.2;
       std::string out_path = "trace.json";
       for (int i = 3; i < argc; ++i) {
         if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
           out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--devices") == 0 && i + 1 < argc) {
+          devices = std::stoul(argv[++i]);
+        } else if (std::strcmp(argv[i], "--link-gbps") == 0 && i + 1 < argc) {
+          link_gbps = std::stod(argv[++i]);
         } else {
           batch = std::stoul(argv[i]);
         }
+      }
+      if (devices > 1) {
+        return cmd_trace_multi(load_design(design), batch, devices, link_gbps, out_path);
       }
       return cmd_trace(load_design(design), batch, out_path);
     }
@@ -355,6 +443,7 @@ int main(int argc, char** argv) {
       bool metrics = false;
       std::uint64_t seed = 7;
       double flag_rate = -1.0;
+      std::string trace_path;
       std::vector<std::string> positional;
       for (int i = 3; i < argc; ++i) {
         if (std::strcmp(argv[i], "--metrics") == 0) {
@@ -363,6 +452,8 @@ int main(int argc, char** argv) {
           seed = std::stoull(argv[++i]);
         } else if (std::strcmp(argv[i], "--rate") == 0 && i + 1 < argc) {
           flag_rate = std::stod(argv[++i]);
+        } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+          trace_path = argv[++i];
         } else {
           positional.emplace_back(argv[i]);
         }
@@ -371,7 +462,8 @@ int main(int argc, char** argv) {
       double rate = positional.size() > 1 ? std::stod(positional[1]) : 0.0;
       if (flag_rate >= 0.0) rate = flag_rate;
       const std::size_t replicas = positional.size() > 2 ? std::stoul(positional[2]) : 2;
-      return cmd_serve(load_design(design), requests, rate, replicas, metrics, seed);
+      return cmd_serve(load_design(design), requests, rate, replicas, metrics, seed,
+                       trace_path);
     }
     if (cmd == "faults") {
       fault::CampaignConfig config;
@@ -415,6 +507,24 @@ int main(int argc, char** argv) {
         }
       }
       return cmd_multifpga(load_design(design), devices, link_gbps, batch);
+    }
+    if (cmd == "profile") {
+      report::ProfileOptions options;
+      std::string out_path;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--devices") == 0 && i + 1 < argc) {
+          options.devices = std::stoul(argv[++i]);
+        } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+          options.batch = std::stoul(argv[++i]);
+        } else if (std::strcmp(argv[i], "--link-gbps") == 0 && i + 1 < argc) {
+          options.link_gbps = std::stod(argv[++i]);
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+          out_path = argv[++i];
+        } else {
+          return usage();
+        }
+      }
+      return cmd_profile(load_design(design), options, out_path);
     }
     if (cmd == "export") {
       if (argc < 4 || !is_preset(design)) return usage();

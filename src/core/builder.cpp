@@ -3,7 +3,9 @@
 #include "axis/flit.hpp"
 #include "sst/filter_chain.hpp"
 #include "sst/port_adapters.hpp"
+#include "core/preflight.hpp"
 #include "sst/window_buffer.hpp"
+#include "verify/diagnostics.hpp"
 
 namespace dfc::core {
 
@@ -37,8 +39,18 @@ std::vector<Fifo<Flit>*> adapt_stream_ports(SimContext& ctx, const std::string& 
 
   std::vector<Fifo<Flit>*> out(static_cast<std::size_t>(target), nullptr);
   if (up < target) {
-    DFC_REQUIRE(target % up == 0, name + ": OUT_PORTS < IN_PORTS requires divisibility");
-    DFC_REQUIRE(channels % target == 0, name + ": channels not divisible by target ports");
+    if (target % up != 0) {
+      throw verify::VerifyError({verify::Code::DF102, name,
+                                 "cannot fan out " + std::to_string(up) + " stream(s) to " +
+                                     std::to_string(target) +
+                                     " port(s): the round-robin interleave needs the upstream "
+                                     "count to divide the downstream count"});
+    }
+    if (channels % target != 0) {
+      throw verify::VerifyError({verify::Code::DF102, name,
+                                 std::to_string(channels) + " channel(s) not divisible by " +
+                                     std::to_string(target) + " target port(s)"});
+    }
     const int fan = target / up;
     for (int p = 0; p < up; ++p) {
       std::vector<Fifo<Flit>*> targets;
@@ -59,7 +71,13 @@ std::vector<Fifo<Flit>*> adapt_stream_ports(SimContext& ctx, const std::string& 
     return out;
   }
 
-  DFC_REQUIRE(up % target == 0, name + ": OUT_PORTS > IN_PORTS requires divisibility");
+  if (up % target != 0) {
+    throw verify::VerifyError({verify::Code::DF102, name,
+                               "cannot merge " + std::to_string(up) + " stream(s) into " +
+                                   std::to_string(target) +
+                                   " port(s): the round-robin interleave needs the downstream "
+                                   "count to divide the upstream count"});
+  }
   const int fan = up / target;
   for (int q = 0; q < target; ++q) {
     std::vector<Fifo<Flit>*> sources;
@@ -193,10 +211,13 @@ SegmentStreams append_layer_segment(SimContext& ctx, const NetworkSpec& spec,
 }
 
 Accelerator build_accelerator(const NetworkSpec& spec, const BuildOptions& options) {
+  run_preflight(spec, options);  // full static analysis first when opted in
   spec.validate();
-  if (!options.layer_device.empty()) {
-    DFC_REQUIRE(options.layer_device.size() == spec.layers.size(),
-                "layer_device must cover every layer");
+  if (!options.layer_device.empty() && options.layer_device.size() != spec.layers.size()) {
+    throw verify::VerifyError({verify::Code::DF403, "partition",
+                               "layer_device has " + std::to_string(options.layer_device.size()) +
+                                   " entries for " + std::to_string(spec.layers.size()) +
+                                   " layer(s)"});
   }
 
   Accelerator acc;

@@ -50,6 +50,12 @@ struct BuildOptions {
   /// The built design is identical either way; this only chooses how batches
   /// are executed (see ExecutionMode).
   ExecutionMode execution_mode = ExecutionMode::kCycleAccurate;
+
+  /// Run the full static verifier (src/verify, if linked) before building:
+  /// AcceleratorHarness and mfpga::build_multi_fpga throw verify::VerifyError
+  /// carrying every diagnostic instead of failing on the first DFC_REQUIRE.
+  /// Off by default so existing flows are byte-identical.
+  bool preflight_verify = false;
 };
 
 /// A built accelerator. The SimContext owns all processes and FIFOs; the raw

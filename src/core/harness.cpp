@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "core/functional_model.hpp"
+#include "core/preflight.hpp"
 #include "core/schedule.hpp"
 
 namespace dfc::core {
@@ -48,7 +49,11 @@ std::int64_t BatchResult::predicted_class(std::size_t i) const {
       std::max_element(logits.begin(), logits.end()) - logits.begin());
 }
 
-AcceleratorHarness::AcceleratorHarness(Accelerator acc) : acc_(std::move(acc)) {}
+AcceleratorHarness::AcceleratorHarness(Accelerator acc) : acc_(std::move(acc)) {
+  // Pre-flight covers hand-assembled accelerators too (build_accelerator
+  // already ran it for designs it constructed itself). Off by default.
+  run_preflight(acc_.spec, acc_.options);
+}
 
 AcceleratorHarness::~AcceleratorHarness() = default;
 

@@ -1,0 +1,35 @@
+#include "core/preflight.hpp"
+
+#include <atomic>
+
+#include "core/builder.hpp"
+
+namespace dfc::core {
+
+namespace {
+// Atomics: the hooks are installed by static registrars but may race with
+// worker threads building accelerators (DSE, serve) under TSan.
+std::atomic<PreflightFn> g_preflight{nullptr};
+std::atomic<MultiPreflightFn> g_multi_preflight{nullptr};
+}  // namespace
+
+void set_preflight_hook(PreflightFn fn) { g_preflight.store(fn, std::memory_order_release); }
+
+void set_multi_preflight_hook(MultiPreflightFn fn) {
+  g_multi_preflight.store(fn, std::memory_order_release);
+}
+
+void run_preflight(const NetworkSpec& spec, const BuildOptions& options) {
+  if (!options.preflight_verify) return;
+  if (PreflightFn fn = g_preflight.load(std::memory_order_acquire)) fn(spec, options);
+}
+
+void run_multi_preflight(const NetworkSpec& spec, const std::vector<std::size_t>& layer_device,
+                         const BuildOptions& options, int link_credits) {
+  if (!options.preflight_verify) return;
+  if (MultiPreflightFn fn = g_multi_preflight.load(std::memory_order_acquire)) {
+    fn(spec, layer_device, options, link_credits);
+  }
+}
+
+}  // namespace dfc::core

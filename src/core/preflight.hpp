@@ -1,0 +1,40 @@
+// Build-time pre-flight hook: core's seam for the static design verifier.
+//
+// The verifier (src/verify) depends on core, so core cannot call it
+// directly without a dependency cycle. Instead core exposes two function
+// pointer slots that linking the verifier library fills in (verifier.cpp's
+// static registrar, or an explicit verify::install_preflight()). When
+// BuildOptions::preflight_verify is set and a hook is installed,
+// AcceleratorHarness and mfpga::build_multi_fpga run the full static
+// analysis before constructing anything and throw verify::VerifyError —
+// with every diagnostic, not just the first — if the design carries errors.
+// With the knob off (the default) or no verifier linked, behaviour is
+// exactly as before.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dfc::core {
+
+struct BuildOptions;
+struct NetworkSpec;
+
+/// Single-context designs (build_accelerator topology).
+using PreflightFn = void (*)(const NetworkSpec&, const BuildOptions&);
+
+/// Partitioned multi-FPGA designs (build_multi_fpga topology):
+/// (spec, layer_device, options, link_credits).
+using MultiPreflightFn = void (*)(const NetworkSpec&, const std::vector<std::size_t>&,
+                                  const BuildOptions&, int);
+
+void set_preflight_hook(PreflightFn fn);
+void set_multi_preflight_hook(MultiPreflightFn fn);
+
+/// Runs the installed hook when options.preflight_verify is set; no-op when
+/// the knob is off or no verifier is linked.
+void run_preflight(const NetworkSpec& spec, const BuildOptions& options);
+void run_multi_preflight(const NetworkSpec& spec, const std::vector<std::size_t>& layer_device,
+                         const BuildOptions& options, int link_credits);
+
+}  // namespace dfc::core

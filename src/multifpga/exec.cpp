@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "core/preflight.hpp"
+#include "verify/diagnostics.hpp"
 
 namespace dfc::mfpga {
 
@@ -34,12 +36,21 @@ MultiFpgaAccelerator build_multi_fpga(const dfc::core::NetworkSpec& spec,
                                       const std::vector<std::size_t>& layer_device,
                                       const dfc::core::BuildOptions& options,
                                       int link_credits) {
+  dfc::core::run_multi_preflight(spec, layer_device, options, link_credits);
   spec.validate();
-  DFC_REQUIRE(layer_device.size() == spec.layers.size(),
-              "layer_device must cover every layer");
+  if (layer_device.size() != spec.layers.size()) {
+    throw dfc::verify::VerifyError(
+        {dfc::verify::Code::DF403, "partition",
+         "layer_device has " + std::to_string(layer_device.size()) + " entries for " +
+             std::to_string(spec.layers.size()) + " layer(s)"});
+  }
   for (std::size_t i = 1; i < layer_device.size(); ++i) {
-    DFC_REQUIRE(layer_device[i] >= layer_device[i - 1],
-                "layer_device must be monotone non-decreasing (the design is a pipeline)");
+    if (layer_device[i] < layer_device[i - 1]) {
+      throw dfc::verify::VerifyError(
+          {dfc::verify::Code::DF403, "L" + std::to_string(i),
+           "device assignment goes backwards (" + std::to_string(layer_device[i - 1]) + " -> " +
+               std::to_string(layer_device[i]) + "); the design is a forward pipeline"});
+    }
   }
 
   MultiFpgaAccelerator acc;

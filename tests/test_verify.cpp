@@ -1,0 +1,631 @@
+// Tests for the static design verifier (src/verify): one minimal triggering
+// design per diagnostic code (asserted by code, never by message text), the
+// deadlock cross-validation suite (every deadlock-class diagnostic has a sim
+// twin that reaches RunStatus::kDeadlock in the cycle engine; clean presets
+// simulate with unchanged logits), graph-vs-builder name equivalence, the
+// Eq. 4 interval cross-check against dse/multifpga, deterministic JSON, the
+// promoted builder/exec diagnostics, the opt-in pre-flight, and the DSE
+// rejection filter.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/harness.hpp"
+#include "core/preflight.hpp"
+#include "core/presets.hpp"
+#include "dataflow/endpoints.hpp"
+#include "dse/explorer.hpp"
+#include "dse/throughput_model.hpp"
+#include "multifpga/exec.hpp"
+#include "multifpga/partition.hpp"
+#include "report/experiments.hpp"
+#include "sst/port_adapters.hpp"
+#include "verify/verifier.hpp"
+
+namespace dfc::verify {
+namespace {
+
+using dfc::axis::Flit;
+using dfc::core::BuildOptions;
+using dfc::core::ConvLayerSpec;
+using dfc::core::FcnLayerSpec;
+using dfc::core::NetworkSpec;
+using dfc::core::PoolLayerSpec;
+using dfc::core::RunStatus;
+using dfc::df::Fifo;
+using dfc::df::SimContext;
+
+/// Smallest valid design: one 3x3 conv, 2 -> 2 feature maps on 4x4 input.
+NetworkSpec tiny_spec() {
+  NetworkSpec spec;
+  spec.name = "tiny";
+  spec.input_shape = Shape3{2, 4, 4};
+  ConvLayerSpec conv;
+  conv.in_shape = spec.input_shape;
+  conv.out_fm = 2;
+  conv.kh = conv.kw = 3;
+  conv.weights.assign(2 * 2 * 9, 0.1f);
+  conv.biases.assign(2, 0.0f);
+  spec.layers.push_back(conv);
+  return spec;
+}
+
+/// tiny_spec + a pool + an fcn, for partition/boundary tests.
+NetworkSpec tiny_pipeline() {
+  NetworkSpec spec = tiny_spec();
+  PoolLayerSpec pool;
+  pool.in_shape = Shape3{2, 2, 2};
+  pool.kh = pool.kw = 2;
+  pool.stride = 2;
+  spec.layers.push_back(pool);
+  FcnLayerSpec fcn;
+  fcn.in_count = 2;
+  fcn.out_count = 3;
+  fcn.weights.assign(2 * 3, 0.05f);
+  fcn.biases.assign(3, 0.0f);
+  spec.layers.push_back(fcn);
+  return spec;
+}
+
+// --- one minimal triggering design per code ----------------------------------
+
+TEST(VerifyCodesTest, DF101ShapeMismatch) {
+  NetworkSpec spec = tiny_spec();
+  std::get<ConvLayerSpec>(spec.layers[0]).in_shape = Shape3{3, 4, 4};
+  const auto r = verify_design(spec);
+  EXPECT_TRUE(r.has(Code::DF101));
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(VerifyCodesTest, DF102PortDivisibility) {
+  NetworkSpec spec = tiny_spec();
+  auto& conv = std::get<ConvLayerSpec>(spec.layers[0]);
+  conv.out_fm = 3;  // 3 FMs on 2 out ports
+  conv.out_ports = 2;
+  conv.weights.assign(3 * 2 * 9, 0.1f);
+  conv.biases.assign(3, 0.0f);
+  EXPECT_TRUE(verify_design(spec).has(Code::DF102));
+}
+
+TEST(VerifyCodesTest, DF103WeightTableSize) {
+  NetworkSpec spec = tiny_spec();
+  std::get<ConvLayerSpec>(spec.layers[0]).weights.pop_back();
+  EXPECT_TRUE(verify_design(spec).has(Code::DF103));
+}
+
+TEST(VerifyCodesTest, DF104FilterChainWithPadding) {
+  NetworkSpec spec = tiny_spec();
+  auto& conv = std::get<ConvLayerSpec>(spec.layers[0]);
+  conv.pad = 1;
+  conv.use_filter_chain = true;
+  EXPECT_TRUE(verify_design(spec).has(Code::DF104));
+}
+
+TEST(VerifyCodesTest, DF105ClassifierInputCount) {
+  NetworkSpec spec = tiny_pipeline();
+  std::get<FcnLayerSpec>(spec.layers[2]).in_count = 7;
+  EXPECT_TRUE(verify_design(spec).has(Code::DF105));
+}
+
+TEST(VerifyCodesTest, DF201ShallowFifo) {
+  BuildOptions opts;
+  opts.stream_fifo_capacity = 1;
+  const auto r = verify_design(tiny_spec(), opts);
+  EXPECT_TRUE(r.has(Code::DF201));
+  EXPECT_TRUE(r.clean()) << "capacity 1 throttles but does not break the design";
+
+  BuildOptions zero;
+  zero.window_fifo_capacity = 0;
+  EXPECT_FALSE(verify_design(tiny_spec(), zero).clean())
+      << "capacity 0 can never transfer and must be an error";
+}
+
+TEST(VerifyCodesTest, DF202LinkThrottles) {
+  NetworkSpec spec = tiny_pipeline();
+  BuildOptions opts;
+  opts.link = dfc::core::LinkModel{40, 1000};  // 1 word per 1000 cycles
+  const std::vector<std::size_t> cut{0, 1, 1};
+  const auto r = verify_design_multi(spec, cut, opts);
+  EXPECT_TRUE(r.has(Code::DF202));
+  EXPECT_TRUE(r.clean()) << "a throttling link is a warning, not an error";
+}
+
+TEST(VerifyCodesTest, DF203CreditWindowBelowRoundTrip) {
+  NetworkSpec spec = tiny_pipeline();
+  BuildOptions opts;
+  opts.link = dfc::core::LinkModel{40, 1};  // round trip needs 82 credits
+  const std::vector<std::size_t> cut{0, 1, 1};
+  EXPECT_TRUE(verify_design_multi(spec, cut, opts, /*link_credits=*/1).has(Code::DF203));
+  EXPECT_FALSE(verify_design_multi(spec, cut, opts, /*link_credits=*/0).has(Code::DF203))
+      << "credits=0 auto-sizes the window";
+}
+
+TEST(VerifyCodesTest, DF001DanglingProducer) {
+  DesignGraph g;
+  const int src = g.add_node("src", "dma-source");
+  const int ch = g.add_channel("fed", 4);
+  g.bind_producer(ch, src);
+  const int orphan = g.add_channel("orphan", 4);
+  const int sink = g.add_node("sink", "dma-sink");
+  g.bind_consumer(ch, sink);
+  g.bind_consumer(orphan, sink);
+  const auto r = verify_graph(g);
+  EXPECT_TRUE(r.has(Code::DF001));
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(VerifyCodesTest, DF002DanglingConsumer) {
+  DesignGraph g;
+  const int src = g.add_node("src", "dma-source");
+  const int ch = g.add_channel("dead-end", 4);
+  g.bind_producer(ch, src);
+  EXPECT_TRUE(verify_graph(g).has(Code::DF002));
+}
+
+TEST(VerifyCodesTest, DF003DuplicateName) {
+  DesignGraph g;
+  const int a = g.add_node("stage", "conv");
+  const int b = g.add_node("stage", "pool");
+  const int ch = g.add_channel("ch", 4);
+  g.bind_producer(ch, a);
+  g.bind_consumer(ch, b);
+  EXPECT_TRUE(verify_graph(g).has(Code::DF003));
+}
+
+TEST(VerifyCodesTest, DF004UnreachableStage) {
+  DesignGraph g;
+  const int src = g.add_node("src", "dma-source");
+  const int sink = g.add_node("sink", "dma-sink");
+  const int ch = g.add_channel("main", 4);
+  g.bind_producer(ch, src);
+  g.bind_consumer(ch, sink);
+  // Two stages feeding each other, cut off from the source.
+  const int a = g.add_node("islandA", "conv");
+  const int b = g.add_node("islandB", "conv");
+  const int f = g.add_channel("island.fwd", 4);
+  const int r = g.add_channel("island.back", 4);
+  g.bind_producer(f, a);
+  g.bind_consumer(f, b);
+  g.bind_producer(r, b);
+  g.bind_consumer(r, a);
+  const auto rep = verify_graph(g);
+  EXPECT_TRUE(rep.has(Code::DF004));
+  EXPECT_TRUE(rep.has(Code::DF302)) << "the island is also a token-free cycle";
+}
+
+TEST(VerifyCodesTest, DF301SinkDemandExceedsDelivery) {
+  DesignGraph g;
+  const int src = g.add_node("src", "dma-source");
+  const int ch = g.add_channel("ch", 4);
+  const int sink = g.add_node("sink", "dma-sink");
+  g.bind_producer(ch, src);
+  g.bind_consumer(ch, sink);
+  g.nodes[static_cast<std::size_t>(sink)].demand_per_image = 5;
+  g.delivered_per_image = 4;
+  EXPECT_TRUE(verify_graph(g).has(Code::DF301));
+  g.delivered_per_image = 5;
+  EXPECT_FALSE(verify_graph(g).has(Code::DF301));
+}
+
+TEST(VerifyCodesTest, DF302FeedbackCycle) {
+  // src -> merge -> demux -> sink, with demux feeding one output back into
+  // the merge: a token-free feedback loop.
+  DesignGraph g;
+  const int src = g.add_node("src", "dma-source");
+  const int merge = g.add_node("merge", "merge");
+  const int demux = g.add_node("demux", "demux");
+  const int sink = g.add_node("sink", "dma-sink");
+  const int in = g.add_channel("src.out", 4);
+  const int merged = g.add_channel("merged", 4);
+  const int out = g.add_channel("out", 4);
+  const int fb = g.add_channel("feedback", 4);
+  g.bind_producer(in, src);
+  g.bind_consumer(in, merge);
+  g.bind_producer(merged, merge);
+  g.bind_consumer(merged, demux);
+  g.bind_producer(out, demux);
+  g.bind_consumer(out, sink);
+  g.bind_producer(fb, demux);
+  g.bind_consumer(fb, merge);
+  const auto r = verify_graph(g);
+  EXPECT_TRUE(r.has(Code::DF302));
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(VerifyCodesTest, DF401BudgetExceeded) {
+  const auto spec = dfc::core::make_alexnet_mini_preset().compile_spec();
+  const auto r = verify_design(spec);
+  EXPECT_TRUE(r.has(Code::DF401));
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(VerifyCodesTest, DF402HeadroomWarning) {
+  VerifyOptions vopts;
+  vopts.headroom_warn_fraction = 0.001;  // anything with a base design trips it
+  const auto r = verify_design(tiny_spec(), {}, vopts);
+  EXPECT_TRUE(r.has(Code::DF402));
+  EXPECT_TRUE(r.clean()) << "headroom is advisory";
+}
+
+TEST(VerifyCodesTest, DF403IllegalPartition) {
+  const NetworkSpec spec = tiny_pipeline();
+  EXPECT_TRUE(verify_design_multi(spec, {0, 1}, {}).has(Code::DF403)) << "coverage";
+  EXPECT_TRUE(verify_design_multi(spec, {1, 0, 0}, {}).has(Code::DF403)) << "monotonicity";
+  EXPECT_FALSE(verify_design_multi(spec, {0, 0, 1}, {}).has(Code::DF403));
+}
+
+// --- deadlock cross-validation: flagged graphs deadlock in the cycle engine --
+
+/// Hand-assembles an Accelerator around `ctx` so AcceleratorHarness can run
+/// it and classify the outcome (the builder would refuse these topologies).
+dfc::core::Accelerator wrap(std::unique_ptr<SimContext> ctx, dfc::core::DmaSource* source,
+                            dfc::core::DmaSink* sink) {
+  dfc::core::Accelerator acc;
+  acc.ctx = std::move(ctx);
+  acc.spec = tiny_spec();  // placeholder; only the engine loop runs
+  acc.source = source;
+  acc.sink = sink;
+  return acc;
+}
+
+TEST(VerifyDeadlockTest, DanglingProducerDeadlocksInSim) {
+  // A merge reading [fed, orphan] in turn: the orphan FIFO never produces, so
+  // the merge wedges after one value. verify_graph flags the orphan as DF001;
+  // the cycle engine reaches RunStatus::kDeadlock on the twin.
+  DesignGraph g;
+  const int src = g.add_node("dma.source", "dma-source");
+  const int fed = g.add_channel("fed", 8);
+  const int orphan = g.add_channel("orphan", 8);
+  const int merge = g.add_node("merge", "merge");
+  const int merged = g.add_channel("merged", 8);
+  const int sink = g.add_node("dma.sink", "dma-sink");
+  g.bind_producer(fed, src);
+  g.bind_consumer(fed, merge);
+  g.bind_consumer(orphan, merge);
+  g.bind_producer(merged, merge);
+  g.bind_consumer(merged, sink);
+  EXPECT_TRUE(verify_graph(g).has(Code::DF001));
+
+  auto ctx = std::make_unique<SimContext>();
+  ctx->set_idle_limit(2'000);
+  auto& f_fed = ctx->add_fifo<Flit>("fed", 8);
+  auto& f_orphan = ctx->add_fifo<Flit>("orphan", 8);
+  auto& f_merged = ctx->add_fifo<Flit>("merged", 8);
+  const Shape3 img{1, 2, 2};
+  auto* source = &ctx->add_process<dfc::core::DmaSource>("dma.source", f_fed, img);
+  ctx->add_process<dfc::sst::PortMerge>("merge", 1,
+                                        std::vector<Fifo<Flit>*>{&f_fed, &f_orphan}, f_merged);
+  auto* sinkp = &ctx->add_process<dfc::core::DmaSink>("dma.sink", f_merged, img.volume());
+  dfc::core::AcceleratorHarness h(wrap(std::move(ctx), source, sinkp));
+  const auto r = h.run_batch(std::vector<Tensor>{Tensor(img)}, 100'000);
+  EXPECT_EQ(r.status, RunStatus::kDeadlock);
+}
+
+TEST(VerifyDeadlockTest, SinkDemandMismatchDeadlocksInSim) {
+  // Pipeline delivers 4 words/image; the sink insists on 5. DF301 statically,
+  // kDeadlock dynamically (the sink waits forever for the fifth word).
+  DesignGraph g;
+  const int src = g.add_node("dma.source", "dma-source");
+  const int ch = g.add_channel("dma.in", 8);
+  const int sink = g.add_node("dma.sink", "dma-sink");
+  g.bind_producer(ch, src);
+  g.bind_consumer(ch, sink);
+  g.nodes[static_cast<std::size_t>(sink)].demand_per_image = 5;
+  g.delivered_per_image = 4;
+  EXPECT_TRUE(verify_graph(g).has(Code::DF301));
+
+  auto ctx = std::make_unique<SimContext>();
+  ctx->set_idle_limit(2'000);
+  auto& ch_f = ctx->add_fifo<Flit>("dma.in", 8);
+  const Shape3 img{1, 2, 2};  // 4 words
+  auto* source = &ctx->add_process<dfc::core::DmaSource>("dma.source", ch_f, img);
+  auto* sinkp = &ctx->add_process<dfc::core::DmaSink>("dma.sink", ch_f, 5);
+  dfc::core::AcceleratorHarness h(wrap(std::move(ctx), source, sinkp));
+  const auto r = h.run_batch(std::vector<Tensor>{Tensor(img)}, 100'000);
+  EXPECT_EQ(r.status, RunStatus::kDeadlock);
+}
+
+TEST(VerifyDeadlockTest, FeedbackCycleDeadlocksInSim) {
+  // The DF302 graph above, realised with real adapters: PortMerge reads
+  // [src, feedback] in turn; PortDemux routes every second value back into
+  // the feedback FIFO. The merge blocks on the empty feedback channel after
+  // one value — a circular wait the idle watchdog converts to kDeadlock.
+  DesignGraph g;
+  const int src = g.add_node("dma.source", "dma-source");
+  const int merge = g.add_node("merge", "merge");
+  const int demux = g.add_node("demux", "demux");
+  const int sink = g.add_node("dma.sink", "dma-sink");
+  const int in = g.add_channel("dma.in", 8);
+  const int merged = g.add_channel("merged", 8);
+  const int out = g.add_channel("out", 8);
+  const int fb = g.add_channel("feedback", 8);
+  g.bind_producer(in, src);
+  g.bind_consumer(in, merge);
+  g.bind_producer(merged, merge);
+  g.bind_consumer(merged, demux);
+  g.bind_producer(out, demux);
+  g.bind_consumer(out, sink);
+  g.bind_producer(fb, demux);
+  g.bind_consumer(fb, merge);
+  EXPECT_TRUE(verify_graph(g).has(Code::DF302));
+
+  auto ctx = std::make_unique<SimContext>();
+  ctx->set_idle_limit(2'000);
+  auto& f_in = ctx->add_fifo<Flit>("dma.in", 8);
+  auto& f_merged = ctx->add_fifo<Flit>("merged", 8);
+  auto& f_out = ctx->add_fifo<Flit>("out", 8);
+  auto& f_fb = ctx->add_fifo<Flit>("feedback", 8);
+  const Shape3 img{1, 2, 2};
+  auto* source = &ctx->add_process<dfc::core::DmaSource>("dma.source", f_in, img);
+  ctx->add_process<dfc::sst::PortMerge>("merge", 1, std::vector<Fifo<Flit>*>{&f_in, &f_fb},
+                                        f_merged);
+  ctx->add_process<dfc::sst::PortDemux>("demux", 2, f_merged,
+                                        std::vector<Fifo<Flit>*>{&f_out, &f_fb});
+  auto* sinkp = &ctx->add_process<dfc::core::DmaSink>("dma.sink", f_out, img.volume());
+  dfc::core::AcceleratorHarness h(wrap(std::move(ctx), source, sinkp));
+  const auto r = h.run_batch(std::vector<Tensor>{Tensor(img)}, 100'000);
+  EXPECT_EQ(r.status, RunStatus::kDeadlock);
+}
+
+// --- clean designs: zero diagnostics, unchanged logits -----------------------
+
+TEST(VerifyCleanTest, PresetsVerifyClean) {
+  for (const char* name : {"usps", "cifar"}) {
+    const auto preset = name == std::string("usps") ? dfc::core::make_usps_preset()
+                                                    : dfc::core::make_cifar_preset();
+    const auto spec = preset.compile_spec();
+    const auto r = verify_design(spec);
+    EXPECT_TRUE(r.clean()) << r.render();
+    EXPECT_TRUE(r.diagnostics.empty()) << r.render();
+    // 2..4-board cuts of the same presets are clean too (with a link fast
+    // enough not to throttle; the default 4-cycle/word link earns an honest
+    // DF202 warning on the 4-board usps cut).
+    const dfc::core::LinkModel fast_link{40, 1};
+    BuildOptions mopts;
+    mopts.link = fast_link;
+    for (std::size_t boards = 2; boards <= 4 && boards <= spec.layers.size(); ++boards) {
+      const auto plan = dfc::mfpga::partition_network_exact(spec, boards, fast_link);
+      const auto rm = verify_design_multi(spec, plan.layer_device, mopts);
+      EXPECT_TRUE(rm.diagnostics.empty()) << rm.render();
+      EXPECT_EQ(rm.devices, boards);
+    }
+  }
+}
+
+TEST(VerifyCleanTest, CleanDesignSimulatesWithUnchangedLogits) {
+  const auto spec = dfc::core::make_usps_preset().compile_spec();
+  ASSERT_TRUE(verify_design(spec).clean());
+
+  const auto images = dfc::report::random_images(spec, 3);
+  dfc::core::AcceleratorHarness single(dfc::core::build_accelerator(spec));
+  const auto rs = single.run_batch(images);
+  ASSERT_EQ(rs.status, RunStatus::kOk);
+
+  const auto plan = dfc::mfpga::partition_network_exact(spec, 2, {});
+  ASSERT_TRUE(verify_design_multi(spec, plan.layer_device, {}).clean());
+  dfc::mfpga::MultiFpgaHarness multi(
+      dfc::mfpga::build_multi_fpga(spec, plan.layer_device, {}));
+  const auto rm = multi.run_batch(images);
+  ASSERT_EQ(rm.status, RunStatus::kOk);
+  EXPECT_EQ(rs.outputs, rm.outputs) << "verified-clean cuts must not change logits";
+}
+
+// --- graph elaboration mirrors the builder name for name ---------------------
+
+TEST(VerifyGraphMirrorTest, SingleContextNamesMatchBuilder) {
+  for (const auto& spec : {dfc::core::make_usps_preset().compile_spec(),
+                           dfc::core::make_cifar_preset().compile_spec()}) {
+    const DesignGraph g = build_design_graph(spec);
+    const auto acc = dfc::core::build_accelerator(spec);
+
+    std::set<std::string> graph_fifos, ctx_fifos;
+    for (const auto& c : g.channels) graph_fifos.insert(c.name);
+    for (std::size_t i = 0; i < acc.ctx->fifo_count(); ++i) {
+      ctx_fifos.insert(acc.ctx->fifo(i).name());
+    }
+    EXPECT_EQ(graph_fifos, ctx_fifos) << spec.name;
+
+    std::set<std::string> graph_nodes, ctx_procs;
+    for (const auto& n : g.nodes) graph_nodes.insert(n.name);
+    for (std::size_t i = 0; i < acc.ctx->process_count(); ++i) {
+      ctx_procs.insert(acc.ctx->process(i).name());
+    }
+    EXPECT_EQ(graph_nodes, ctx_procs) << spec.name;
+  }
+}
+
+TEST(VerifyGraphMirrorTest, MultiContextNamesMatchExecutor) {
+  const auto spec = dfc::core::make_usps_preset().compile_spec();
+  const auto plan = dfc::mfpga::partition_network_exact(spec, 2, {});
+  const DesignGraph g = build_design_graph_multi(spec, plan.layer_device, {});
+  const auto acc = dfc::mfpga::build_multi_fpga(spec, plan.layer_device, {});
+
+  std::set<std::string> ctx_fifos, wire_names;
+  for (const auto& dev : acc.devices) {
+    for (std::size_t i = 0; i < dev.ctx->fifo_count(); ++i) {
+      ctx_fifos.insert(dev.ctx->fifo(i).name());
+    }
+  }
+  for (const auto& w : acc.wires) wire_names.insert(w->name());
+
+  std::set<std::string> graph_fifos, graph_wires;
+  for (const auto& c : g.channels) {
+    if (c.name.find(".wire") != std::string::npos) {
+      graph_wires.insert(c.name);
+    } else {
+      graph_fifos.insert(c.name);
+    }
+  }
+  EXPECT_EQ(graph_fifos, ctx_fifos);
+  EXPECT_EQ(graph_wires, wire_names);
+
+  std::set<std::string> graph_nodes, ctx_procs;
+  for (const auto& n : g.nodes) graph_nodes.insert(n.name);
+  for (const auto& dev : acc.devices) {
+    for (std::size_t i = 0; i < dev.ctx->process_count(); ++i) {
+      ctx_procs.insert(dev.ctx->process(i).name());
+    }
+  }
+  EXPECT_EQ(graph_nodes, ctx_procs);
+}
+
+// --- rate model cross-validation ---------------------------------------------
+
+TEST(VerifyRateTest, IntervalMatchesThroughputModel) {
+  for (const auto& spec : {dfc::core::make_usps_preset().compile_spec(),
+                           dfc::core::make_cifar_preset().compile_spec(),
+                           dfc::core::make_alexnet_mini_preset().compile_spec()}) {
+    const auto est = dfc::dse::estimate_timing(spec);
+    EXPECT_EQ(verify_design(spec).predicted_interval_cycles, est.interval_cycles) << spec.name;
+  }
+}
+
+TEST(VerifyRateTest, MultiIntervalMatchesPartitionModel) {
+  const auto spec = dfc::core::make_cifar_preset().compile_spec();
+  const dfc::core::LinkModel link{40, 4};
+  for (std::size_t boards = 2; boards <= 3; ++boards) {
+    const auto plan = dfc::mfpga::partition_network_exact(spec, boards, link);
+    const auto est = dfc::mfpga::estimate_multi_timing(spec, plan.layer_device, link);
+    BuildOptions opts;
+    opts.link = link;
+    EXPECT_EQ(verify_design_multi(spec, plan.layer_device, opts).predicted_interval_cycles,
+              est.interval_cycles)
+        << boards << " boards";
+  }
+}
+
+// --- deterministic JSON ------------------------------------------------------
+
+TEST(VerifyReportTest, JsonIsByteIdenticalAcrossSweepThreads) {
+  const auto spec = dfc::core::make_usps_preset().compile_spec();
+  ::setenv("DFCNN_SWEEP_THREADS", "1", 1);
+  const std::string a = verify_design(spec).to_json();
+  ::setenv("DFCNN_SWEEP_THREADS", "8", 1);
+  const std::string b = verify_design(spec).to_json();
+  ::unsetenv("DFCNN_SWEEP_THREADS");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"clean\": true"), std::string::npos);
+}
+
+TEST(VerifyReportTest, ReportAccessorsAndThrow) {
+  NetworkSpec spec = tiny_spec();
+  std::get<ConvLayerSpec>(spec.layers[0]).weights.pop_back();
+  const auto r = verify_design(spec);
+  EXPECT_GE(r.errors(), 1u);
+  EXPECT_FALSE(r.clean());
+  try {
+    r.throw_if_errors();
+    FAIL() << "expected VerifyError";
+  } catch (const VerifyError& e) {
+    ASSERT_FALSE(e.diagnostics().empty());
+    EXPECT_EQ(e.diagnostics()[0].code, Code::DF103);
+  }
+  // A clean report does not throw.
+  verify_design(tiny_spec()).throw_if_errors();
+}
+
+// --- promoted construction-path diagnostics ----------------------------------
+
+TEST(VerifyPromotionTest, AdapterDivisibilityThrowsStructured) {
+  SimContext ctx;
+  std::vector<Fifo<Flit>*> streams{&ctx.add_fifo<Flit>("a", 4), &ctx.add_fifo<Flit>("b", 4)};
+  try {
+    dfc::core::adapt_stream_ports(ctx, "L0", std::move(streams), 6, 3, 4);
+    FAIL() << "expected VerifyError";
+  } catch (const VerifyError& e) {
+    ASSERT_EQ(e.diagnostics().size(), 1u);
+    EXPECT_EQ(e.diagnostics()[0].code, Code::DF102);
+    EXPECT_EQ(e.diagnostics()[0].entity, "L0");
+  }
+}
+
+TEST(VerifyPromotionTest, BuilderPartitionCoverageThrowsStructured) {
+  BuildOptions opts;
+  opts.layer_device = {0};  // tiny_pipeline has 3 layers
+  try {
+    dfc::core::build_accelerator(tiny_pipeline(), opts);
+    FAIL() << "expected VerifyError";
+  } catch (const VerifyError& e) {
+    EXPECT_EQ(e.diagnostics()[0].code, Code::DF403);
+  }
+}
+
+TEST(VerifyPromotionTest, ExecutorPartitionThrowsStructured) {
+  try {
+    dfc::mfpga::build_multi_fpga(tiny_pipeline(), {1, 0, 0}, {});
+    FAIL() << "expected VerifyError";
+  } catch (const VerifyError& e) {
+    EXPECT_EQ(e.diagnostics()[0].code, Code::DF403);
+  }
+  try {
+    dfc::mfpga::build_multi_fpga(tiny_pipeline(), {0, 1}, {});
+    FAIL() << "expected VerifyError";
+  } catch (const VerifyError& e) {
+    EXPECT_EQ(e.diagnostics()[0].code, Code::DF403);
+  }
+}
+
+// --- opt-in pre-flight -------------------------------------------------------
+
+TEST(VerifyPreflightTest, CollectsEveryErrorBeforeBuilding) {
+  install_preflight();
+  NetworkSpec spec = tiny_spec();
+  auto& conv = std::get<ConvLayerSpec>(spec.layers[0]);
+  conv.weights.pop_back();
+  conv.biases.pop_back();
+
+  // Knob off: validate() throws on the first problem (plain ConfigError,
+  // not a VerifyError).
+  EXPECT_THROW(dfc::core::build_accelerator(spec), dfc::ConfigError);
+
+  BuildOptions opts;
+  opts.preflight_verify = true;
+  try {
+    dfc::core::build_accelerator(spec, opts);
+    FAIL() << "expected VerifyError";
+  } catch (const VerifyError& e) {
+    EXPECT_EQ(e.diagnostics().size(), 2u) << "both DF103 findings, not just the first";
+    for (const auto& d : e.diagnostics()) EXPECT_EQ(d.code, Code::DF103);
+  }
+}
+
+TEST(VerifyPreflightTest, MultiExecHonoursKnob) {
+  install_preflight();
+  NetworkSpec spec = tiny_pipeline();
+  std::get<FcnLayerSpec>(spec.layers[2]).in_count = 7;
+  BuildOptions opts;
+  opts.preflight_verify = true;
+  try {
+    dfc::mfpga::build_multi_fpga(spec, {0, 0, 1}, opts);
+    FAIL() << "expected VerifyError";
+  } catch (const VerifyError& e) {
+    EXPECT_EQ(e.diagnostics()[0].code, Code::DF105);
+  }
+  // Clean designs build identically with the knob on.
+  const auto clean = tiny_pipeline();
+  EXPECT_NO_THROW(dfc::mfpga::build_multi_fpga(clean, {0, 0, 1}, opts));
+}
+
+// --- DSE rejection filter ----------------------------------------------------
+
+TEST(VerifyDseTest, FilterKeepsResultAndCountsRejections) {
+  const auto preset = dfc::core::make_usps_preset();
+  dfc::dse::DseOptions with, without;
+  with.verify_candidates = true;
+  without.verify_candidates = false;
+  const auto a = dfc::dse::explore(preset.net, preset.input_shape, with);
+  const auto b = dfc::dse::explore(preset.net, preset.input_shape, without);
+  EXPECT_EQ(a.best.timing.interval_cycles, b.best.timing.interval_cycles);
+  EXPECT_EQ(a.best.plan.conv.size(), b.best.plan.conv.size());
+  EXPECT_EQ(a.candidates_evaluated, b.candidates_evaluated);
+  // The verifier only rejects what compilation would also reject (legal DSE
+  // enumerations compile to legal specs), so the counts agree.
+  EXPECT_EQ(a.candidates_rejected, b.candidates_rejected);
+}
+
+}  // namespace
+}  // namespace dfc::verify

@@ -42,6 +42,16 @@
 //                                            the ranked bottleneck report
 //                                            (Eq. 4 predicted vs observed II
 //                                            per stage, link splits, verdict)
+//   dfcnn check     <design> [--devices N] [--link-gbps X] [--credits C]
+//                   [--json] [device]        static design verification: graph
+//                                            structure, shape/port propagation,
+//                                            Eq. 4 rate consistency, deadlock
+//                                            freedom and the Table I resource
+//                                            budget, without simulating a
+//                                            cycle; exit 0 when clean, 1 when
+//                                            any error-severity diagnostic
+//                                            fires (codes DF001.., DESIGN.md
+//                                            §13)
 //   dfcnn export    <preset> <out.dfcnn>     save a compiled design artifact
 //
 // <design> is a preset name (usps | cifar | alexnet) or a .dfcnn file saved
@@ -70,6 +80,7 @@
 #include "report/experiments.hpp"
 #include "report/profile.hpp"
 #include "serve/server.hpp"
+#include "verify/verifier.hpp"
 
 namespace {
 
@@ -78,7 +89,7 @@ using namespace dfc;
 int usage() {
   std::fprintf(stderr,
                "usage: dfcnn <info|dot|simulate|trace|serve|faults|dse|partition|multifpga|"
-               "profile|export> <design> [args]\n"
+               "profile|check|export> <design> [args]\n"
                "  designs: usps | cifar | alexnet | <path to .dfcnn file>\n"
                "  devices: virtex7-485t | virtex7-330t | kintex7-325t\n"
                "  dot:     dfcnn dot <design> [batch=0]   (batch > 0 simulates first and\n"
@@ -97,7 +108,10 @@ int usage() {
                "  faults:  dfcnn faults <design> [--seed S=1] [--trials N=64] [--batch B=4]\n"
                "           [--no-detect] [--out faults.csv]\n"
                "  multifpga: dfcnn multifpga <design> [--devices N=2] [--link-gbps X=3.2]\n"
-               "           [--batch B=8]   (1 word/cycle = 3.2 Gbps @100 MHz)\n");
+               "           [--batch B=8]   (1 word/cycle = 3.2 Gbps @100 MHz)\n"
+               "  check:   dfcnn check <design> [--devices N=1] [--link-gbps X=3.2]\n"
+               "           [--credits C=0(auto)] [--json] [device]   static verification;\n"
+               "           exit 0 clean, 1 on error diagnostics\n");
   return 2;
 }
 
@@ -394,6 +408,34 @@ int cmd_multifpga(const core::NetworkSpec& spec, std::size_t devices, double lin
   return identical ? 0 : 1;
 }
 
+int cmd_check(const core::NetworkSpec& spec, std::size_t devices, double link_gbps,
+              int credits, bool json, const std::string& device_name) {
+  DFC_REQUIRE(link_gbps > 0.0, "--link-gbps must be positive");
+  const int cycles_per_word = std::max(1, static_cast<int>(3.2 / link_gbps + 0.5));
+  const core::LinkModel link{40, cycles_per_word};
+
+  verify::VerifyOptions vopts;
+  vopts.device = load_device(device_name);
+
+  verify::VerifyReport rep;
+  if (devices <= 1) {
+    rep = verify::verify_design(spec, {}, vopts);
+  } else {
+    // Same partitioner as `dfcnn multifpga`: verify exactly the cut that
+    // command would execute.
+    core::BuildOptions opts;
+    opts.link = link;
+    const auto plan = mfpga::partition_network_exact(spec, devices, link, credits);
+    rep = verify::verify_design_multi(spec, plan.layer_device, opts, credits, vopts);
+  }
+  if (json) {
+    std::printf("%s\n", rep.to_json().c_str());
+  } else {
+    std::printf("%s", rep.render().c_str());
+  }
+  return rep.clean() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -525,6 +567,27 @@ int main(int argc, char** argv) {
         }
       }
       return cmd_profile(load_design(design), options, out_path);
+    }
+    if (cmd == "check") {
+      std::size_t devices = 1;
+      double link_gbps = 3.2;
+      int credits = 0;
+      bool json = false;
+      std::string device_name;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--devices") == 0 && i + 1 < argc) {
+          devices = std::stoul(argv[++i]);
+        } else if (std::strcmp(argv[i], "--link-gbps") == 0 && i + 1 < argc) {
+          link_gbps = std::stod(argv[++i]);
+        } else if (std::strcmp(argv[i], "--credits") == 0 && i + 1 < argc) {
+          credits = std::stoi(argv[++i]);
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+          json = true;
+        } else {
+          device_name = argv[i];
+        }
+      }
+      return cmd_check(load_design(design), devices, link_gbps, credits, json, device_name);
     }
     if (cmd == "export") {
       if (argc < 4 || !is_preset(design)) return usage();

@@ -1,0 +1,187 @@
+#include "cluster/cluster_stats.hpp"
+
+#include <sstream>
+
+#include "common/table.hpp"
+#include "core/harness.hpp"
+
+namespace dfc::cluster {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+double pct(std::uint64_t part, std::uint64_t total) {
+  return total == 0 ? 0.0 : 100.0 * static_cast<double>(part) / static_cast<double>(total);
+}
+
+}  // namespace
+
+std::string ClusterStats::render() const {
+  auto us = [](std::uint64_t cycles) {
+    return dfc::core::cycles_to_us(static_cast<double>(cycles));
+  };
+  std::ostringstream os;
+
+  AsciiTable t({"metric", "value"});
+  t.add_row({"design", design});
+  t.add_row({"nodes", std::to_string(node_stats.size())});
+  t.add_row({"policy", policy});
+  t.add_row({"shape", shape});
+  t.add_row({"offered requests", std::to_string(offered_requests)});
+  t.add_row({"completed", std::to_string(completed_requests)});
+  t.add_row({"shed (queue full)", std::to_string(shed_overflow)});
+  t.add_row({"shed (deadline)", std::to_string(shed_deadline)});
+  t.add_row({"offered rate (req/s)", fmt_fixed(offered_rps, 0)});
+  t.add_row({"sustained rate (req/s)", fmt_fixed(sustained_rps, 0)});
+  t.add_row({"p50 latency (us)", fmt_fixed(us(p50_latency_cycles), 3)});
+  t.add_row({"p99 latency (us)", fmt_fixed(us(p99_latency_cycles), 3)});
+  t.add_row({"p99.9 latency (us)", fmt_fixed(us(p999_latency_cycles), 3)});
+  t.add_row({"makespan (cycles)", std::to_string(makespan_cycles)});
+  t.add_row({"scale events", std::to_string(scale_events)});
+  os << t.render();
+
+  if (!classes.empty()) {
+    os << "\nper-class SLO:\n";
+    AsciiTable c({"class", "deadline_us", "offered", "completed", "shed_q", "shed_slo", "p50_us",
+                  "p99_us", "p99.9_us", "miss"});
+    for (const auto& cl : classes) {
+      c.add_row({cl.name,
+                 cl.deadline_cycles == 0 ? "-" : fmt_fixed(us(cl.deadline_cycles), 1),
+                 std::to_string(cl.offered), std::to_string(cl.completed),
+                 std::to_string(cl.shed_overflow), std::to_string(cl.shed_deadline),
+                 fmt_fixed(us(cl.p50_latency_cycles), 1), fmt_fixed(us(cl.p99_latency_cycles), 1),
+                 fmt_fixed(us(cl.p999_latency_cycles), 1), std::to_string(cl.deadline_misses)});
+    }
+    os << c.render();
+  }
+
+  os << "\nper-node (hop cycles attributed as wire/credit/idle % of makespan):\n";
+  AsciiTable n({"node", "boards", "replicas", "routed", "completed", "shed", "util%", "in_wire%",
+                "in_credit%", "out_wire%", "out_idle%"});
+  for (const auto& ns : node_stats) {
+    const std::uint64_t total_in = ns.ingress.activity.total();
+    const std::uint64_t total_out = ns.egress.activity.total();
+    n.add_row({std::to_string(ns.node), std::to_string(ns.boards),
+               std::to_string(ns.replicas_start) + "->" + std::to_string(ns.replicas_peak) + "->" +
+                   std::to_string(ns.replicas_final),
+               std::to_string(ns.routed), std::to_string(ns.completed),
+               std::to_string(ns.shed_overflow + ns.shed_deadline),
+               fmt_fixed(100.0 * ns.utilization, 1),
+               fmt_fixed(pct(ns.ingress.activity.wire_busy, total_in), 1),
+               fmt_fixed(pct(ns.ingress.activity.credit_stall, total_in), 1),
+               fmt_fixed(pct(ns.egress.activity.wire_busy, total_out), 1),
+               fmt_fixed(pct(ns.egress.activity.idle, total_out), 1)});
+  }
+  os << n.render();
+  return os.str();
+}
+
+std::string ClusterStats::verdict() const {
+  std::ostringstream os;
+  os << "sustained " << fmt_fixed(sustained_rps / 1e6, 2) << " Mreq/s across "
+     << node_stats.size() << " nodes";
+  if (!classes.empty()) {
+    os << "; " << classes.front().name << " p99 "
+       << fmt_fixed(dfc::core::cycles_to_us(static_cast<double>(classes.front().p99_latency_cycles)), 1)
+       << " us";
+  }
+  const std::uint64_t shed = shed_overflow + shed_deadline;
+  os << "; shed " << fmt_fixed(pct(shed, offered_requests), 1) << "% (deadline "
+     << fmt_fixed(pct(shed_deadline, offered_requests), 1) << "%)";
+  return os.str();
+}
+
+std::string ClusterStats::to_json() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"name\": \"" << json_escape(name) << "\",\n";
+  os << "  \"design\": \"" << json_escape(design) << "\",\n";
+  os << "  \"policy\": \"" << json_escape(policy) << "\",\n";
+  os << "  \"shape\": \"" << json_escape(shape) << "\",\n";
+  os << "  \"nodes\": " << node_stats.size() << ",\n";
+  os << "  \"offered_requests\": " << offered_requests << ",\n";
+  os << "  \"completed_requests\": " << completed_requests << ",\n";
+  os << "  \"shed_overflow\": " << shed_overflow << ",\n";
+  os << "  \"shed_deadline\": " << shed_deadline << ",\n";
+  os << "  \"offered_rps\": " << fmt_fixed(offered_rps, 1) << ",\n";
+  os << "  \"sustained_rps\": " << fmt_fixed(sustained_rps, 1) << ",\n";
+  os << "  \"p50_latency_cycles\": " << p50_latency_cycles << ",\n";
+  os << "  \"p99_latency_cycles\": " << p99_latency_cycles << ",\n";
+  os << "  \"p999_latency_cycles\": " << p999_latency_cycles << ",\n";
+  os << "  \"makespan_cycles\": " << makespan_cycles << ",\n";
+  os << "  \"scale_events\": " << scale_events << ",\n";
+  os << "  \"classes\": [\n";
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    const auto& c = classes[i];
+    os << "    {\"name\": \"" << json_escape(c.name) << "\", \"deadline_cycles\": "
+       << c.deadline_cycles << ", \"offered\": " << c.offered << ", \"completed\": " << c.completed
+       << ", \"shed_overflow\": " << c.shed_overflow << ", \"shed_deadline\": " << c.shed_deadline
+       << ", \"p50_latency_cycles\": " << c.p50_latency_cycles
+       << ", \"p99_latency_cycles\": " << c.p99_latency_cycles
+       << ", \"p999_latency_cycles\": " << c.p999_latency_cycles
+       << ", \"mean_latency_cycles\": " << fmt_fixed(c.mean_latency_cycles, 1)
+       << ", \"deadline_misses\": " << c.deadline_misses << "}"
+       << (i + 1 < classes.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"node_stats\": [\n";
+  for (std::size_t i = 0; i < node_stats.size(); ++i) {
+    const auto& n = node_stats[i];
+    auto hop = [](const HopStats& h) {
+      std::ostringstream hs;
+      hs << "{\"name\": \"" << json_escape(h.name) << "\", \"words\": " << h.words
+         << ", \"wire_busy\": " << h.activity.wire_busy
+         << ", \"credit_stall\": " << h.activity.credit_stall
+         << ", \"rx_backpressure\": " << h.activity.rx_backpressure
+         << ", \"idle\": " << h.activity.idle << "}";
+      return hs.str();
+    };
+    os << "    {\"node\": " << n.node << ", \"boards\": " << n.boards
+       << ", \"routed\": " << n.routed << ", \"completed\": " << n.completed
+       << ", \"shed_overflow\": " << n.shed_overflow << ", \"shed_deadline\": " << n.shed_deadline
+       << ", \"batches\": " << n.batches << ", \"replicas_start\": " << n.replicas_start
+       << ", \"replicas_peak\": " << n.replicas_peak << ", \"replicas_final\": " << n.replicas_final
+       << ", \"scale_ups\": " << n.scale_ups << ", \"scale_downs\": " << n.scale_downs
+       << ", \"busy_cycles\": " << n.busy_cycles
+       << ", \"utilization\": " << fmt_fixed(n.utilization, 4) << ", \"ingress\": " << hop(n.ingress)
+       << ", \"egress\": " << hop(n.egress) << "}" << (i + 1 < node_stats.size() ? "," : "")
+       << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"verdict\": \"" << json_escape(verdict()) << "\"\n";
+  os << "}";
+  return os.str();
+}
+
+std::string ClusterReport::csv() const {
+  std::ostringstream os;
+  os << "id,class,node,arrival_cycle,delivery_cycle,dispatch_cycle,completion_cycle,"
+        "response_cycle,shed,replica,batch_id,latency_cycles\n";
+  for (const auto& o : outcomes) {
+    const char* shed = o.shed == ClusterOutcome::Shed::kNone        ? "none"
+                       : o.shed == ClusterOutcome::Shed::kOverflow ? "overflow"
+                                                                   : "deadline";
+    os << o.id << ',' << o.deadline_class << ',' << o.node << ',' << o.arrival_cycle << ','
+       << o.delivery_cycle << ',' << o.dispatch_cycle << ',' << o.completion_cycle << ','
+       << o.response_cycle << ',' << shed << ',' << o.replica << ',' << o.batch_id << ','
+       << (o.shed == ClusterOutcome::Shed::kNone ? o.latency_cycles() : 0) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dfc::cluster

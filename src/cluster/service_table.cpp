@@ -1,0 +1,59 @@
+#include "cluster/service_table.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "multifpga/exec.hpp"
+#include "multifpga/partition.hpp"
+#include "serve/replica_pool.hpp"
+
+namespace dfc::cluster {
+
+namespace {
+
+// Same convention as serve::ReplicaPool's warm(): timing is data-independent,
+// so any seeded content works; seed 7 keeps the measurement reproducible.
+std::vector<Tensor> timing_images(const dfc::core::NetworkSpec& spec, std::size_t count) {
+  Rng rng(7);
+  std::vector<Tensor> images;
+  images.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Tensor t(spec.input_shape);
+    for (float& v : t.flat()) v = rng.uniform(-1.0f, 1.0f);
+    images.push_back(std::move(t));
+  }
+  return images;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> measure_service_table(const dfc::core::NetworkSpec& spec,
+                                                 std::size_t boards, std::size_t max_batch,
+                                                 const dfc::core::InterLinkModel& link,
+                                                 const dfc::core::BuildOptions& options) {
+  DFC_REQUIRE(boards > 0, "a replica spans at least one board");
+  DFC_REQUIRE(max_batch > 0, "service table needs a positive max batch size");
+  link.validate();
+
+  std::vector<std::uint64_t> table(max_batch, 0);
+  if (boards == 1) {
+    dfc::serve::ReplicaPool pool(spec, 1, options);
+    for (std::size_t n = 1; n <= max_batch; ++n) table[n - 1] = pool.service_cycles(n);
+    return table;
+  }
+
+  const mfpga::MultiFpgaPlan plan =
+      mfpga::partition_network_exact(spec, boards, link.link, link.credits);
+  dfc::core::BuildOptions opts = options;
+  opts.link = link.link;
+  mfpga::MultiFpgaHarness harness(
+      mfpga::build_multi_fpga(spec, plan.layer_device, opts, link.credits));
+  for (std::size_t n = 1; n <= max_batch; ++n) {
+    const dfc::core::BatchResult res = harness.run_batch(timing_images(spec, n));
+    DFC_CHECK(res.ok(), "multi-board service measurement did not complete (batch size " +
+                            std::to_string(n) + "): " + res.error);
+    table[n - 1] = res.total_cycles();
+  }
+  return table;
+}
+
+}  // namespace dfc::cluster

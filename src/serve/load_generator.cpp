@@ -1,6 +1,8 @@
 #include "serve/load_generator.hpp"
 
 #include <cmath>
+#include <numbers>
+#include <optional>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -8,10 +10,79 @@
 
 namespace dfc::serve {
 
+namespace {
+
+/// Inverse-CDF exponential draw with the given mean; 1 - u keeps the log
+/// argument in (0, 1] so the result is finite.
+double exp_draw(Rng& rng, double mean) { return -std::log(1.0 - rng.next_double()) * mean; }
+
+/// Arrival clocks for the two-state on/off process. The gap to the next
+/// arrival is exponential in ON-time; whenever a gap crosses the end of the
+/// current ON window the remainder carries over past the OFF dwell into the
+/// next ON window (the standard Markov-modulated construction). Dwell
+/// lengths are drawn lazily as windows are entered, so the rng consumption
+/// order is fixed and the stream is reproducible.
+class BurstClock {
+ public:
+  BurstClock(Rng& rng, double on_rate_cycles, double on_mean, double off_mean)
+      : rng_(rng), on_gap_mean_(on_rate_cycles), on_mean_(on_mean), off_mean_(off_mean) {
+    on_end_ = exp_draw(rng_, on_mean_);
+  }
+
+  double next_arrival() {
+    double gap = exp_draw(rng_, on_gap_mean_);
+    while (clock_ + gap >= on_end_) {
+      gap -= on_end_ - clock_;
+      clock_ = on_end_ + exp_draw(rng_, off_mean_);  // skip the OFF dwell
+      on_end_ = clock_ + exp_draw(rng_, on_mean_);
+    }
+    clock_ += gap;
+    return clock_;
+  }
+
+ private:
+  Rng& rng_;
+  double on_gap_mean_;  ///< mean inter-arrival gap while ON, in cycles
+  double on_mean_;
+  double off_mean_;
+  double clock_ = 0.0;   ///< current position (always inside an ON window)
+  double on_end_ = 0.0;  ///< end of the current ON window
+};
+
+}  // namespace
+
+const char* arrival_process_name(ArrivalProcess p) {
+  switch (p) {
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kUniform: return "uniform";
+    case ArrivalProcess::kDiurnal: return "diurnal";
+    case ArrivalProcess::kBursty: return "bursty";
+    case ArrivalProcess::kTrace: return "trace";
+  }
+  return "?";
+}
+
 Load generate_load(const dfc::core::NetworkSpec& spec, const LoadSpec& load) {
-  DFC_REQUIRE(load.rate_images_per_second > 0.0, "load rate must be positive");
-  DFC_REQUIRE(load.request_count > 0, "load needs at least one request");
+  const bool trace_mode = load.arrivals == ArrivalProcess::kTrace;
+  DFC_REQUIRE(trace_mode || load.rate_images_per_second > 0.0, "load rate must be positive");
+  DFC_REQUIRE(trace_mode || load.request_count > 0, "load needs at least one request");
   DFC_REQUIRE(load.distinct_images > 0, "load needs at least one distinct image");
+  if (load.arrivals == ArrivalProcess::kDiurnal) {
+    DFC_REQUIRE(load.diurnal_amplitude >= 0.0 && load.diurnal_amplitude < 1.0,
+                "diurnal amplitude must be in [0, 1)");
+    DFC_REQUIRE(load.diurnal_period_cycles > 0, "diurnal period must be positive");
+  }
+  if (load.arrivals == ArrivalProcess::kBursty) {
+    DFC_REQUIRE(load.burst_on_mean_cycles > 0 && load.burst_off_mean_cycles > 0,
+                "burst dwell means must be positive");
+  }
+  if (trace_mode) {
+    DFC_REQUIRE(!load.trace_arrival_cycles.empty(), "trace replay needs at least one arrival");
+    for (std::size_t i = 1; i < load.trace_arrival_cycles.size(); ++i) {
+      DFC_REQUIRE(load.trace_arrival_cycles[i - 1] <= load.trace_arrival_cycles[i],
+                  "trace arrival cycles must be sorted non-decreasing");
+    }
+  }
 
   Rng rng(load.seed);
   Load out;
@@ -22,25 +93,66 @@ Load generate_load(const dfc::core::NetworkSpec& spec, const LoadSpec& load) {
     out.images.push_back(std::move(t));
   }
 
-  const double mean_gap_cycles = dfc::core::kClockHz / load.rate_images_per_second;
+  const std::size_t count =
+      trace_mode ? load.trace_arrival_cycles.size() : load.request_count;
+  const double mean_gap_cycles =
+      trace_mode ? 0.0 : dfc::core::kClockHz / load.rate_images_per_second;
+  // Thinning needs candidates at the envelope (peak) rate; acceptance brings
+  // the local rate down to rate(t).
+  const double peak_gap_cycles = mean_gap_cycles / (1.0 + load.diurnal_amplitude);
+  // Constructed only for bursty loads: the BurstClock draws its first ON
+  // dwell up front, and consuming that draw for other shapes would shift
+  // their rng streams (Poisson/uniform loads must stay byte-identical to
+  // the pre-shapes generator).
+  std::optional<BurstClock> burst;
+  if (load.arrivals == ArrivalProcess::kBursty) {
+    const double duty =
+        static_cast<double>(load.burst_on_mean_cycles) /
+        static_cast<double>(load.burst_on_mean_cycles + load.burst_off_mean_cycles);
+    burst.emplace(rng, mean_gap_cycles * duty,
+                  static_cast<double>(load.burst_on_mean_cycles),
+                  static_cast<double>(load.burst_off_mean_cycles));
+  }
+
   double clock = 0.0;  // accumulate in double so rounding does not drift
-  out.requests.reserve(load.request_count);
-  for (std::size_t i = 0; i < load.request_count; ++i) {
-    if (i > 0) {
+  out.requests.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i > 0 || load.arrivals == ArrivalProcess::kBursty ||
+        load.arrivals == ArrivalProcess::kTrace) {
       switch (load.arrivals) {
         case ArrivalProcess::kPoisson:
-          // Inverse-CDF exponential draw; 1 - u keeps the log argument in
-          // (0, 1] so the gap is finite.
-          clock += -std::log(1.0 - rng.next_double()) * mean_gap_cycles;
+          clock += exp_draw(rng, mean_gap_cycles);
           break;
         case ArrivalProcess::kUniform:
           clock += mean_gap_cycles;
+          break;
+        case ArrivalProcess::kDiurnal: {
+          // Lewis-Shedler thinning: candidate gaps at the peak rate, each
+          // accepted with probability rate(t)/peak — an exact sampler for
+          // the sinusoid-modulated process.
+          for (;;) {
+            clock += exp_draw(rng, peak_gap_cycles);
+            const double phase = 2.0 * std::numbers::pi * clock /
+                                 static_cast<double>(load.diurnal_period_cycles);
+            const double accept =
+                (1.0 + load.diurnal_amplitude * std::sin(phase)) /
+                (1.0 + load.diurnal_amplitude);
+            if (rng.next_double() < accept) break;
+          }
+          break;
+        }
+        case ArrivalProcess::kBursty:
+          clock = burst->next_arrival();
+          break;
+        case ArrivalProcess::kTrace:
+          clock = static_cast<double>(load.trace_arrival_cycles[i]);
           break;
       }
     }
     Request r;
     r.id = i;
-    r.arrival_cycle = static_cast<std::uint64_t>(clock);
+    r.arrival_cycle = trace_mode ? load.trace_arrival_cycles[i]
+                                 : static_cast<std::uint64_t>(clock);
     r.image_index = static_cast<std::size_t>(rng.next_below(load.distinct_images));
     out.requests.push_back(r);
   }

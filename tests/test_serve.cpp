@@ -220,6 +220,106 @@ TEST(LoadGeneratorTest, UniformArrivalsMatchTheRate) {
   }
 }
 
+TEST(LoadGeneratorTest, DiurnalModulatesTheRateAcrossThePeriod) {
+  const core::NetworkSpec spec = usps_spec();
+  LoadSpec ls;
+  ls.arrivals = ArrivalProcess::kDiurnal;
+  ls.rate_images_per_second = 1'000'000.0;  // mean gap 100 cycles
+  ls.request_count = 3000;
+  ls.diurnal_amplitude = 0.8;
+  ls.diurnal_period_cycles = 200'000;
+  const Load a = generate_load(spec, ls);
+  const Load b = generate_load(spec, ls);
+  ASSERT_EQ(a.requests.size(), 3000u);
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].arrival_cycle, b.requests[i].arrival_cycle);  // seeded
+  }
+  // Arrivals inside the first full period: sin > 0 over the first half
+  // (elevated rate), sin < 0 over the second (depressed), so the peak half
+  // must collect clearly more arrivals than the trough half.
+  std::size_t peak = 0, trough = 0;
+  for (const Request& r : a.requests) {
+    const std::uint64_t phase = r.arrival_cycle % ls.diurnal_period_cycles;
+    if (r.arrival_cycle >= ls.diurnal_period_cycles) continue;
+    (phase < ls.diurnal_period_cycles / 2 ? peak : trough) += 1;
+  }
+  ASSERT_GT(peak + trough, 1000u);
+  EXPECT_GT(peak, trough * 2);
+}
+
+TEST(LoadGeneratorTest, BurstyAlternatesBurstsAndGapsAtTheConfiguredRate) {
+  const core::NetworkSpec spec = usps_spec();
+  LoadSpec ls;
+  ls.arrivals = ArrivalProcess::kBursty;
+  ls.rate_images_per_second = 1'000'000.0;  // long-run mean gap 100 cycles
+  ls.request_count = 4000;
+  ls.burst_on_mean_cycles = 10'000;
+  ls.burst_off_mean_cycles = 40'000;
+  const Load a = generate_load(spec, ls);
+  const Load b = generate_load(spec, ls);
+  ASSERT_EQ(a.requests.size(), 4000u);
+  EXPECT_EQ(a.requests.back().arrival_cycle, b.requests.back().arrival_cycle);
+
+  // ON dwells run at 5x the mean rate (gap ~20 cycles); OFF dwells are
+  // silent. Expect many short intra-burst gaps AND some OFF-sized holes.
+  std::size_t short_gaps = 0, holes = 0;
+  for (std::size_t i = 1; i < a.requests.size(); ++i) {
+    const std::uint64_t gap = a.requests[i].arrival_cycle - a.requests[i - 1].arrival_cycle;
+    if (gap < 100) short_gaps += 1;
+    if (gap > 10'000) holes += 1;
+  }
+  EXPECT_GT(short_gaps, a.requests.size() / 2);
+  EXPECT_GE(holes, 4u);
+  // The long-run offered rate still matches the spec (within ~40%).
+  const double mean_gap = static_cast<double>(a.requests.back().arrival_cycle) / 3999.0;
+  EXPECT_GT(mean_gap, 60.0);
+  EXPECT_LT(mean_gap, 140.0);
+}
+
+TEST(LoadGeneratorTest, TraceReplayIsExact) {
+  const core::NetworkSpec spec = usps_spec();
+  LoadSpec ls;
+  ls.arrivals = ArrivalProcess::kTrace;
+  ls.request_count = 3;  // ignored: the trace is the truth
+  ls.trace_arrival_cycles = {0, 17, 17, 400, 100'000};
+  const Load l = generate_load(spec, ls);
+  ASSERT_EQ(l.requests.size(), 5u);
+  for (std::size_t i = 0; i < l.requests.size(); ++i) {
+    EXPECT_EQ(l.requests[i].id, i);
+    EXPECT_EQ(l.requests[i].arrival_cycle, ls.trace_arrival_cycles[i]);
+  }
+}
+
+TEST(LoadGeneratorTest, RejectsBadShapeParameters) {
+  const core::NetworkSpec spec = usps_spec();
+  LoadSpec diurnal;
+  diurnal.arrivals = ArrivalProcess::kDiurnal;
+  diurnal.diurnal_amplitude = 1.0;  // must be in [0, 1)
+  EXPECT_THROW(generate_load(spec, diurnal), ConfigError);
+
+  LoadSpec bursty;
+  bursty.arrivals = ArrivalProcess::kBursty;
+  bursty.burst_on_mean_cycles = 0;
+  EXPECT_THROW(generate_load(spec, bursty), ConfigError);
+
+  LoadSpec empty_trace;
+  empty_trace.arrivals = ArrivalProcess::kTrace;
+  EXPECT_THROW(generate_load(spec, empty_trace), ConfigError);
+
+  LoadSpec unsorted;
+  unsorted.arrivals = ArrivalProcess::kTrace;
+  unsorted.trace_arrival_cycles = {50, 20};
+  EXPECT_THROW(generate_load(spec, unsorted), ConfigError);
+}
+
+TEST(LoadGeneratorTest, ShapeNamesRoundTrip) {
+  EXPECT_STREQ(arrival_process_name(ArrivalProcess::kPoisson), "poisson");
+  EXPECT_STREQ(arrival_process_name(ArrivalProcess::kUniform), "uniform");
+  EXPECT_STREQ(arrival_process_name(ArrivalProcess::kDiurnal), "diurnal");
+  EXPECT_STREQ(arrival_process_name(ArrivalProcess::kBursty), "bursty");
+  EXPECT_STREQ(arrival_process_name(ArrivalProcess::kTrace), "trace");
+}
+
 // --- plan_serving: triggers, FIFO, shedding ------------------------------------
 
 // A synthetic service table keeps these tests independent of the simulator:

@@ -16,12 +16,31 @@
 //                                            inter-board link activity are
 //                                            merged into one cross-board view
 //   dfcnn serve     <design> [requests] [rate] [replicas] [--metrics]
-//                   [--seed S] [--rate R]    open-loop serving scenario
+//                   [--seed S] [--rate R] [--boards B]
+//                                            open-loop serving scenario
 //                                            (rate in req/s, 0 = 80% of
 //                                            estimated capacity); --metrics
 //                                            prints the Prometheus-style
 //                                            registry after the run; --seed
-//                                            reseeds the arrival process
+//                                            reseeds the arrival process;
+//                                            --boards B > 1 serves from
+//                                            multi-board replicas whose
+//                                            service times are measured on
+//                                            the partitioned interlink engine
+//   dfcnn cluster   <design> [--nodes N] [--policy P] [--shape S]
+//                   [--requests N] [--rate R] [--seed S] [--out report.json]
+//                                            simulated multi-node fleet: load
+//                                            balancer (round-robin |
+//                                            least-loaded | weighted) over
+//                                            interlink-priced network hops,
+//                                            per-node autoscaled replica
+//                                            pools (node 0 runs two-board
+//                                            replicas), SLO-aware admission
+//                                            with per-deadline-class tails;
+//                                            S is a comma list of arrival
+//                                            shapes (poisson | uniform |
+//                                            diurnal | bursty), one scenario
+//                                            each
 //   dfcnn faults    <design> [--seed S] [--trials N] [--batch B]
 //                   [--no-detect] [--out faults.csv]
 //                                            fault-injection campaign: random
@@ -64,6 +83,8 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster.hpp"
+#include "cluster/service_table.hpp"
 #include "common/metrics.hpp"
 #include "common/table.hpp"
 #include "core/block_design.hpp"
@@ -88,8 +109,8 @@ using namespace dfc;
 
 int usage() {
   std::fprintf(stderr,
-               "usage: dfcnn <info|dot|simulate|trace|serve|faults|dse|partition|multifpga|"
-               "profile|check|export> <design> [args]\n"
+               "usage: dfcnn <info|dot|simulate|trace|serve|cluster|faults|dse|partition|"
+               "multifpga|profile|check|export> <design> [args]\n"
                "  designs: usps | cifar | alexnet | <path to .dfcnn file>\n"
                "  devices: virtex7-485t | virtex7-330t | kintex7-325t\n"
                "  dot:     dfcnn dot <design> [batch=0]   (batch > 0 simulates first and\n"
@@ -103,6 +124,11 @@ int usage() {
                "  serve:   dfcnn serve <design> [requests=2000] [rate_rps=0(auto)] "
                "[replicas=2]\n"
                "           [--metrics] [--seed S=7] [--rate R] [--trace spans.json]\n"
+               "           [--boards B=1]   (B > 1 plans with multi-board replica timings)\n"
+               "  cluster: dfcnn cluster <design> [--nodes N=4] [--policy "
+               "round-robin|least-loaded|weighted]\n"
+               "           [--shape diurnal,bursty] [--requests N=40000] [--rate R=2000000]\n"
+               "           [--seed S=7] [--out report.json]\n"
                "  profile: dfcnn profile <design> [--devices N=1] [--batch B=16]\n"
                "           [--link-gbps X=3.2] [--out report.json]\n"
                "  faults:  dfcnn faults <design> [--seed S=1] [--trials N=64] [--batch B=4]\n"
@@ -263,7 +289,7 @@ int cmd_profile(const core::NetworkSpec& spec, const report::ProfileOptions& opt
 
 int cmd_serve(const core::NetworkSpec& spec, std::size_t requests, double rate_rps,
               std::size_t replicas, bool metrics, std::uint64_t seed,
-              const std::string& trace_path) {
+              const std::string& trace_path, std::size_t boards) {
   serve::ServeConfig config;
   config.replicas = replicas;
   config.queue_capacity = 64;
@@ -291,9 +317,19 @@ int cmd_serve(const core::NetworkSpec& spec, std::size_t requests, double rate_r
   obs::TraceSink span_sink;
   if (!trace_path.empty()) config.trace = &span_sink;
 
-  serve::InferenceServer server(spec, config);
   const serve::Load load = serve::generate_load(spec, load_spec);
-  const serve::ServeReport report = server.run(load);
+  serve::ServeReport report;
+  if (boards > 1) {
+    // Multi-board replicas: service times measured on the partitioned
+    // interlink engine, so link bandwidth/latency lands in the plan.
+    const auto table = cluster::measure_service_table(
+        spec, boards, config.batcher.max_batch_size, {}, config.build);
+    report = serve::plan_serving(load.requests, config, table);
+    report.stats.name = spec.name;
+  } else {
+    serve::InferenceServer server(spec, config);
+    report = server.run(load);
+  }
 
   if (!trace_path.empty()) {
     write_trace_file(span_sink, trace_path);
@@ -301,13 +337,99 @@ int cmd_serve(const core::NetworkSpec& spec, std::size_t requests, double rate_r
                  trace_path.c_str());
   }
 
-  std::printf("serving %s: %zu requests, Poisson @ %.0f req/s, %zu replicas, "
+  std::printf("serving %s: %zu requests, Poisson @ %.0f req/s, %zu replicas (%zu board%s), "
               "max_batch %zu, max_wait %llu cycles, queue %zu\n\n",
-              spec.name.c_str(), requests, rate_rps, replicas, config.batcher.max_batch_size,
+              spec.name.c_str(), requests, rate_rps, replicas, boards, boards == 1 ? "" : "s",
+              config.batcher.max_batch_size,
               static_cast<unsigned long long>(config.batcher.max_wait_cycles),
               config.queue_capacity);
   std::printf("%s", report.stats.render().c_str());
   if (metrics) std::printf("\n%s", registry.expose_text().c_str());
+  return 0;
+}
+
+serve::ArrivalProcess parse_shape(const std::string& name) {
+  if (name == "poisson") return serve::ArrivalProcess::kPoisson;
+  if (name == "uniform") return serve::ArrivalProcess::kUniform;
+  if (name == "diurnal") return serve::ArrivalProcess::kDiurnal;
+  if (name == "bursty") return serve::ArrivalProcess::kBursty;
+  throw ConfigError("unknown arrival shape '" + name + "'");
+}
+
+cluster::RoutePolicy parse_policy(const std::string& name) {
+  if (name == "round-robin" || name == "rr") return cluster::RoutePolicy::kRoundRobin;
+  if (name == "least-loaded" || name == "ll") return cluster::RoutePolicy::kLeastLoaded;
+  if (name == "weighted") return cluster::RoutePolicy::kWeighted;
+  throw ConfigError("unknown routing policy '" + name + "'");
+}
+
+/// The reference fleet: node 0 serves from two-board replicas (and carries
+/// weight 2 under the weighted policy), the rest are single-board; every
+/// node sits behind symmetric interlink-priced hops.
+cluster::ClusterConfig reference_cluster_config(const core::NetworkSpec& spec,
+                                                std::size_t nodes,
+                                                cluster::RoutePolicy policy) {
+  cluster::ClusterConfig config;
+  config.policy = policy;
+  config.batcher.max_batch_size = 16;
+  const auto timing = dse::estimate_timing(spec);
+  config.batcher.max_wait_cycles =
+      static_cast<std::uint64_t>(timing.interval_cycles) * config.batcher.max_batch_size;
+  config.classes = cluster::default_deadline_classes();
+  cluster::HopModel hop;
+  hop.link.link = core::LinkModel{200, 1};  // 3.2 Gbps serializer, 2 us of flight
+  for (std::size_t i = 0; i < nodes; ++i) {
+    cluster::NodeConfig nc;
+    nc.boards = i == 0 ? 2 : 1;
+    nc.replicas = 2;
+    nc.queue_capacity = 256;
+    nc.weight = i == 0 ? 2 : 1;
+    nc.ingress = hop;
+    nc.egress = hop;
+    config.nodes.push_back(nc);
+  }
+  return config;
+}
+
+int cmd_cluster(const core::NetworkSpec& spec, std::size_t nodes, cluster::RoutePolicy policy,
+                const std::vector<serve::ArrivalProcess>& shapes, std::size_t requests,
+                double rate_rps, std::uint64_t seed, const std::string& out_path) {
+  DFC_REQUIRE(nodes > 0, "--nodes must be positive");
+  DFC_REQUIRE(!shapes.empty(), "--shape needs at least one arrival shape");
+  cluster::ClusterConfig config = reference_cluster_config(spec, nodes, policy);
+  cluster::Cluster fleet(spec, config);
+
+  std::string json = "{\n  \"design\": \"" + spec.name + "\",\n  \"scenarios\": [\n";
+  for (std::size_t s = 0; s < shapes.size(); ++s) {
+    serve::LoadSpec load_spec;
+    load_spec.arrivals = shapes[s];
+    load_spec.rate_images_per_second = rate_rps;
+    load_spec.request_count = requests;
+    load_spec.seed = seed;
+    const serve::Load load = serve::generate_load(spec, load_spec);
+    const char* shape = serve::arrival_process_name(shapes[s]);
+    const cluster::ClusterReport report = fleet.run(load, shape, shape);
+
+    std::printf("cluster %s / %s: %zu nodes, policy %s, %zu requests @ %.0f req/s\n\n",
+                spec.name.c_str(), shape, nodes, cluster::route_policy_name(policy), requests,
+                rate_rps);
+    std::printf("%s", report.stats.render().c_str());
+    std::printf("\nverdict: %s\n\n", report.stats.verdict().c_str());
+
+    std::string scenario = report.stats.to_json();
+    json += "    " + scenario;
+    json += s + 1 < shapes.size() ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    DFC_REQUIRE(out.good(), "cannot open '" + out_path + "' for writing");
+    out << json;
+    out.flush();
+    DFC_REQUIRE(out.good(), "failed writing cluster JSON to '" + out_path + "'");
+    std::fprintf(stderr, "wrote cluster report to %s\n", out_path.c_str());
+  }
   return 0;
 }
 
@@ -485,6 +607,7 @@ int main(int argc, char** argv) {
       bool metrics = false;
       std::uint64_t seed = 7;
       double flag_rate = -1.0;
+      std::size_t boards = 1;
       std::string trace_path;
       std::vector<std::string> positional;
       for (int i = 3; i < argc; ++i) {
@@ -494,6 +617,8 @@ int main(int argc, char** argv) {
           seed = std::stoull(argv[++i]);
         } else if (std::strcmp(argv[i], "--rate") == 0 && i + 1 < argc) {
           flag_rate = std::stod(argv[++i]);
+        } else if (std::strcmp(argv[i], "--boards") == 0 && i + 1 < argc) {
+          boards = std::stoul(argv[++i]);
         } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
           trace_path = argv[++i];
         } else {
@@ -505,7 +630,46 @@ int main(int argc, char** argv) {
       if (flag_rate >= 0.0) rate = flag_rate;
       const std::size_t replicas = positional.size() > 2 ? std::stoul(positional[2]) : 2;
       return cmd_serve(load_design(design), requests, rate, replicas, metrics, seed,
-                       trace_path);
+                       trace_path, boards);
+    }
+    if (cmd == "cluster") {
+      std::size_t nodes = 4;
+      std::string policy = "least-loaded";
+      std::string shape_list = "diurnal,bursty";
+      std::size_t requests = 40'000;
+      double rate = 2'000'000.0;
+      std::uint64_t seed = 7;
+      std::string out_path;
+      for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+          nodes = std::stoul(argv[++i]);
+        } else if (std::strcmp(argv[i], "--policy") == 0 && i + 1 < argc) {
+          policy = argv[++i];
+        } else if (std::strcmp(argv[i], "--shape") == 0 && i + 1 < argc) {
+          shape_list = argv[++i];
+        } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+          requests = std::stoul(argv[++i]);
+        } else if (std::strcmp(argv[i], "--rate") == 0 && i + 1 < argc) {
+          rate = std::stod(argv[++i]);
+        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+          seed = std::stoull(argv[++i]);
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+          out_path = argv[++i];
+        } else {
+          return usage();
+        }
+      }
+      std::vector<serve::ArrivalProcess> shapes;
+      std::size_t start = 0;
+      while (start <= shape_list.size()) {
+        const std::size_t comma = shape_list.find(',', start);
+        const std::size_t end = comma == std::string::npos ? shape_list.size() : comma;
+        if (end > start) shapes.push_back(parse_shape(shape_list.substr(start, end - start)));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      return cmd_cluster(load_design(design), nodes, parse_policy(policy), shapes, requests,
+                         rate, seed, out_path);
     }
     if (cmd == "faults") {
       fault::CampaignConfig config;

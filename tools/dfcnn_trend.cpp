@@ -19,6 +19,8 @@
 #include <sstream>
 #include <string>
 
+#include "cluster/cluster.hpp"
+#include "cluster/service_table.hpp"
 #include "common/error.hpp"
 
 #include "core/harness.hpp"
@@ -97,6 +99,36 @@ report::TrendSnapshot measure_benches(const std::string& label) {
     serve::InferenceServer server(usps, config);
     server.run(serve::generate_load(usps, load_spec));
   })});
+
+  // Cluster planner steady state: tables and load are built once outside the
+  // timed region, so the bench isolates plan_cluster — the per-request event
+  // loop every fleet scenario rides on.
+  {
+    core::BuildOptions compiled;
+    compiled.execution_mode = core::ExecutionMode::kCompiledSchedule;
+    const auto table = cluster::measure_service_table(usps, 1, 16, {}, compiled);
+    cluster::ClusterConfig config;
+    config.policy = cluster::RoutePolicy::kLeastLoaded;
+    config.batcher.max_batch_size = 16;
+    config.batcher.max_wait_cycles = table[15];
+    config.classes = cluster::default_deadline_classes();
+    for (int i = 0; i < 4; ++i) config.nodes.push_back(cluster::NodeConfig{});
+    serve::LoadSpec load_spec;
+    load_spec.arrivals = serve::ArrivalProcess::kDiurnal;
+    load_spec.rate_images_per_second = 2'000'000.0;
+    load_spec.request_count = 60'000;
+    load_spec.seed = 7;
+    load_spec.distinct_images = 4;
+    const serve::Load load = serve::generate_load(usps, load_spec);
+    const auto class_of =
+        cluster::assign_classes(load.requests.size(), config.classes, config.class_seed);
+    const std::vector<std::vector<std::uint64_t>> tables(4, table);
+    snap.benches.push_back({"usps_cluster_plan_60k_x4", wall_ms_of([&] {
+      for (int i = 0; i < 4; ++i) {
+        cluster::plan_cluster(load.requests, class_of, config, tables);
+      }
+    })});
+  }
 
   return snap;
 }
